@@ -1,0 +1,146 @@
+//! Exact shortest-path routing with full tables: every vertex stores the
+//! next-hop port towards every destination. Stretch 1, `Θ(n)` words per
+//! vertex — the ground-truth extreme of the space/stretch trade-off.
+
+use routing_graph::shortest_path::dijkstra;
+use routing_graph::{Graph, Port, VertexId};
+use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
+
+/// The full-table shortest-path routing scheme.
+#[derive(Debug, Clone)]
+pub struct ExactScheme {
+    n: usize,
+    /// `next[u][v]` = port at `u` towards `v` (`None` on the diagonal or for
+    /// unreachable pairs).
+    next: Vec<Vec<Option<Port>>>,
+}
+
+impl ExactScheme {
+    /// Preprocesses full routing tables with `n` Dijkstra runs.
+    pub fn build(g: &Graph) -> Self {
+        let n = g.n();
+        let mut next = vec![vec![None; n]; n];
+        for v in g.vertices() {
+            let spt = dijkstra(g, v);
+            for u in g.vertices() {
+                if u == v {
+                    continue;
+                }
+                // The parent of u in the tree rooted at v is the next hop on
+                // a shortest path from u to v.
+                if let Some(p) = spt.parent(u) {
+                    next[u.index()][v.index()] = g.port_to(u, p);
+                }
+            }
+        }
+        ExactScheme { n, next }
+    }
+}
+
+/// Header for exact routing (nothing needs to be carried).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExactHeader;
+
+impl HeaderSize for ExactHeader {
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+impl RoutingScheme for ExactScheme {
+    type Label = VertexId;
+    type Header = ExactHeader;
+
+    fn name(&self) -> String {
+        "exact-shortest-path".into()
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn label_of(&self, v: VertexId) -> VertexId {
+        v
+    }
+
+    fn init_header(&self, _source: VertexId, dest: &VertexId) -> Result<ExactHeader, RouteError> {
+        if dest.index() >= self.n {
+            return Err(RouteError::BadLabel { what: format!("{dest} is not a vertex") });
+        }
+        Ok(ExactHeader)
+    }
+
+    fn decide(
+        &self,
+        at: VertexId,
+        _header: &mut ExactHeader,
+        dest: &VertexId,
+    ) -> Result<Decision, RouteError> {
+        if at == *dest {
+            return Ok(Decision::Deliver);
+        }
+        self.next[at.index()][dest.index()]
+            .map(Decision::Forward)
+            .ok_or_else(|| RouteError::MissingInformation {
+                at,
+                what: format!("{dest} is unreachable"),
+            })
+    }
+
+    fn table_words(&self, v: VertexId) -> usize {
+        self.next[v.index()].iter().filter(|p| p.is_some()).count()
+    }
+
+    fn label_words(&self, _v: VertexId) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use routing_graph::apsp::DistanceMatrix;
+    use routing_graph::generators::{self, WeightModel};
+    use routing_model::simulate;
+
+    #[test]
+    fn exact_routing_has_stretch_one() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let g = generators::erdos_renyi(60, 0.08, WeightModel::Uniform { lo: 1, hi: 9 }, &mut rng);
+        let scheme = ExactScheme::build(&g);
+        let exact = DistanceMatrix::new(&g);
+        for u in g.vertices().take(20) {
+            for v in g.vertices() {
+                if u == v {
+                    continue;
+                }
+                let out = simulate(&g, &scheme, u, v).unwrap();
+                assert_eq!(Some(out.weight), exact.dist(u, v));
+            }
+        }
+    }
+
+    #[test]
+    fn exact_tables_are_linear_in_n() {
+        let g = generators::cycle(40);
+        let scheme = ExactScheme::build(&g);
+        for v in g.vertices() {
+            assert_eq!(scheme.table_words(v), 39);
+            assert_eq!(scheme.label_words(v), 1);
+        }
+        assert_eq!(scheme.name(), "exact-shortest-path");
+        assert_eq!(RoutingScheme::n(&scheme), 40);
+    }
+
+    #[test]
+    fn exact_reports_unreachable_destinations() {
+        let mut b = routing_graph::GraphBuilder::new(3);
+        b.add_unit_edge(0, 1).unwrap();
+        let g = b.build();
+        let scheme = ExactScheme::build(&g);
+        let err = simulate(&g, &scheme, VertexId(0), VertexId(2)).unwrap_err();
+        assert!(matches!(err, RouteError::MissingInformation { .. }));
+    }
+}

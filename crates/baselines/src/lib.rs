@@ -1,0 +1,22 @@
+//! Baseline schemes the paper compares against (Table 1) and ground-truth
+//! comparators used by the experiment harness:
+//!
+//! * [`exact`] — shortest-path routing with full `Θ(n)`-word tables
+//!   (stretch 1), the space/stretch extreme point.
+//! * [`tz`] — the Thorup–Zwick hierarchy (levels, bunches, clusters), the
+//!   `(4k−5)`-stretch compact routing scheme \[21\] (stretch 3 at `k=2`,
+//!   stretch 7 at `k=3` — the two prior rows of Table 1), and the
+//!   `(2k−1)`-stretch distance oracle \[22\].
+//! * [`spanner`] — the greedy `(2k−1)`-spanner, included for the
+//!   spanner/oracle/routing storyline of the introduction.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod exact;
+pub mod spanner;
+pub mod tz;
+
+pub use exact::ExactScheme;
+pub use spanner::greedy_spanner;
+pub use tz::{TzHierarchy, TzOracle, TzRoutingScheme};

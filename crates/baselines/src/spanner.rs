@@ -1,0 +1,84 @@
+//! The greedy `(2k−1)`-spanner (Althöfer et al.), included because the
+//! paper's introduction frames spanners, distance oracles and routing
+//! schemes as three views of the same stretch/space trade-off.
+
+use routing_graph::shortest_path::dijkstra;
+use routing_graph::{Graph, GraphBuilder};
+
+/// Computes the greedy `(2k−1)`-spanner of `g`: edges are scanned in
+/// non-decreasing weight order and kept only if the spanner built so far has
+/// no path of weight at most `(2k−1)` times the edge weight between its
+/// endpoints.
+///
+/// The result has girth greater than `2k`, hence `O(n^{1+1/k})` edges, and
+/// preserves all distances within a factor `2k−1`.
+pub fn greedy_spanner(g: &Graph, k: usize) -> Graph {
+    let k = k.max(1);
+    let factor = (2 * k - 1) as u128;
+    let mut edges: Vec<_> = g.all_edges().collect();
+    edges.sort_by_key(|&(u, v, w)| (w, u, v));
+    let mut builder = GraphBuilder::new(g.n());
+    let mut spanner = builder.clone().build();
+    for (u, v, w) in edges {
+        // Distance between u and v in the current spanner.
+        let keep = match dijkstra(&spanner, u).dist(v) {
+            Some(d) => (d as u128) > factor * (w as u128),
+            None => true,
+        };
+        if keep {
+            builder.add_edge(u.index(), v.index(), w).expect("edge comes from a valid graph");
+            spanner = builder.clone().build();
+        }
+    }
+    spanner
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use routing_graph::apsp::DistanceMatrix;
+    use routing_graph::generators::{self, WeightModel};
+
+    #[test]
+    fn spanner_preserves_distances_within_stretch() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::erdos_renyi(50, 0.15, WeightModel::Uniform { lo: 1, hi: 10 }, &mut rng);
+        for k in [2usize, 3] {
+            let h = greedy_spanner(&g, k);
+            assert!(h.m() <= g.m());
+            let dg = DistanceMatrix::new(&g);
+            let dh = DistanceMatrix::new(&h);
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    if u == v {
+                        continue;
+                    }
+                    let orig = dg.dist(u, v).unwrap();
+                    let span = dh.dist(u, v).unwrap();
+                    assert!(
+                        span <= (2 * k as u64 - 1) * orig,
+                        "spanner stretch violated for k={k}: {span} vs {orig}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn spanner_of_a_tree_is_the_tree() {
+        let g = generators::binary_tree(31);
+        let h = greedy_spanner(&g, 2);
+        assert_eq!(h.m(), g.m());
+    }
+
+    #[test]
+    fn larger_k_gives_sparser_spanner() {
+        let g = generators::complete(30);
+        let h2 = greedy_spanner(&g, 2);
+        let h4 = greedy_spanner(&g, 4);
+        assert!(h4.m() <= h2.m());
+        assert!(h2.m() < g.m());
+    }
+}

@@ -1,0 +1,54 @@
+//! Criterion benchmark: preprocessing time of each scheme (Table 1 columns
+//! are about space, but preprocessing cost is what a deployer pays up front).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_baselines::TzRoutingScheme;
+use routing_core::{Params, SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
+use routing_graph::generators::{Family, WeightModel};
+
+fn bench_preprocessing(c: &mut Criterion) {
+    let n = 200;
+    let mut rng = StdRng::seed_from_u64(1);
+    let unweighted = Family::ErdosRenyi.generate(n, WeightModel::Unit, &mut rng);
+    let weighted = Family::ErdosRenyi.generate(n, WeightModel::Uniform { lo: 1, hi: 16 }, &mut rng);
+    let params = Params::with_epsilon(0.5);
+
+    let mut group = c.benchmark_group("preprocessing");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("thm10_2eps1", n), &n, |b, _| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            SchemeTwoPlusEps::build(&unweighted, &params, &mut rng).expect("build")
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("thm11_5eps", n), &n, |b, _| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            SchemeFivePlusEps::build(&weighted, &params, &mut rng).expect("build")
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("warmup_3eps", n), &n, |b, _| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            SchemeThreePlusEps::build(&weighted, &params, &mut rng).expect("build")
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("tz_k2", n), &n, |b, _| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            TzRoutingScheme::build(&weighted, 2, &mut rng)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("tz_k3", n), &n, |b, _| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(2);
+            TzRoutingScheme::build(&weighted, 3, &mut rng)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_preprocessing);
+criterion_main!(benches);

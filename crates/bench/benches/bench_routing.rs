@@ -1,0 +1,75 @@
+//! Criterion benchmark: end-to-end per-message routing cost (simulated hops
+//! plus local decisions) for each scheme and the exact baseline.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use routing_baselines::{ExactScheme, TzRoutingScheme};
+use routing_core::{Params, SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
+use routing_graph::generators::{Family, WeightModel};
+use routing_graph::VertexId;
+use routing_model::simulate;
+
+fn bench_routing(c: &mut Criterion) {
+    let n = 250;
+    let mut rng = StdRng::seed_from_u64(5);
+    let unweighted = Family::ErdosRenyi.generate(n, WeightModel::Unit, &mut rng);
+    let weighted = Family::ErdosRenyi.generate(n, WeightModel::Uniform { lo: 1, hi: 16 }, &mut rng);
+    let params = Params::with_epsilon(0.5);
+
+    let thm10 = SchemeTwoPlusEps::build(&unweighted, &params, &mut rng).expect("thm10");
+    let thm11 = SchemeFivePlusEps::build(&weighted, &params, &mut rng).expect("thm11");
+    let warmup = SchemeThreePlusEps::build(&weighted, &params, &mut rng).expect("warmup");
+    let tz2 = TzRoutingScheme::build(&weighted, 2, &mut rng);
+    let exact = ExactScheme::build(&weighted);
+
+    let pairs: Vec<(VertexId, VertexId)> = (0..64)
+        .map(|_| {
+            let u = VertexId(rng.gen_range(0..n as u32));
+            let v = VertexId(rng.gen_range(0..n as u32));
+            (u, v)
+        })
+        .filter(|(u, v)| u != v)
+        .collect();
+
+    let mut group = c.benchmark_group("route_message");
+    group.bench_function("thm10_2eps1", |b| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                simulate(&unweighted, &thm10, u, v).expect("route");
+            }
+        })
+    });
+    group.bench_function("thm11_5eps", |b| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                simulate(&weighted, &thm11, u, v).expect("route");
+            }
+        })
+    });
+    group.bench_function("warmup_3eps", |b| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                simulate(&weighted, &warmup, u, v).expect("route");
+            }
+        })
+    });
+    group.bench_function("tz_k2", |b| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                simulate(&weighted, &tz2, u, v).expect("route");
+            }
+        })
+    });
+    group.bench_function("exact", |b| {
+        b.iter(|| {
+            for &(u, v) in &pairs {
+                simulate(&weighted, &exact, u, v).expect("route");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_routing);
+criterion_main!(benches);

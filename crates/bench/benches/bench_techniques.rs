@@ -1,0 +1,79 @@
+//! Criterion benchmark: the two techniques in isolation (Lemma 7 intra-set
+//! routing and Lemma 8 source-to-destination-set routing), plus the
+//! substrates they are built from (vicinity tables and Lemma 4 centers).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_core::{Params, Technique1Scheme, Technique2Scheme};
+use routing_graph::generators::{Family, WeightModel};
+use routing_graph::VertexId;
+use routing_model::simulate;
+use routing_vicinity::{sample_centers_bounded, BallTable, Coloring};
+
+fn bench_techniques(c: &mut Criterion) {
+    let n = 200;
+    let mut rng = StdRng::seed_from_u64(9);
+    let g = Family::ErdosRenyi.generate(n, WeightModel::Uniform { lo: 1, hi: 8 }, &mut rng);
+    let params = Params::with_epsilon(0.5);
+    let q = 8u32;
+
+    let ell = params.scaled(q as usize, n);
+    let ball_sets: Vec<Vec<VertexId>> = {
+        let balls = BallTable::build(&g, ell);
+        g.vertices()
+            .map(|u| balls.ball(u).members().iter().map(|&(v, _)| v).collect())
+            .collect()
+    };
+    let coloring = Coloring::build_for_sets(n, q, &ball_sets, 8, &mut rng).expect("coloring");
+    let color_of: Vec<u32> = g.vertices().map(|v| coloring.color(v)).collect();
+    let dests: Vec<VertexId> = g.vertices().filter(|v| v.0 % 4 == 0).collect();
+    let mut dest_partition = vec![Vec::new(); q as usize];
+    for (i, w) in dests.iter().enumerate() {
+        dest_partition[i % q as usize].push(*w);
+    }
+
+    let mut group = c.benchmark_group("techniques");
+    group.sample_size(10);
+    group.bench_function("substrate_ball_table", |b| {
+        b.iter(|| BallTable::build(&g, ell))
+    });
+    group.bench_function("substrate_lemma4_centers", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(10);
+            sample_centers_bounded(&g, 30, &mut rng)
+        })
+    });
+    group.bench_function("lemma7_build", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(11);
+            Technique1Scheme::build(&g, color_of.clone(), &params, &mut rng).expect("lemma 7")
+        })
+    });
+    group.bench_function("lemma8_build", |b| {
+        b.iter(|| {
+            Technique2Scheme::build(&g, color_of.clone(), dest_partition.clone(), &params)
+                .expect("lemma 8")
+        })
+    });
+
+    let mut rng = StdRng::seed_from_u64(12);
+    let t1 = Technique1Scheme::build(&g, color_of.clone(), &params, &mut rng).expect("lemma 7");
+    let same_set: Vec<(VertexId, VertexId)> = g
+        .vertices()
+        .flat_map(|u| g.vertices().map(move |v| (u, v)))
+        .filter(|&(u, v)| u != v && color_of[u.index()] == color_of[v.index()])
+        .take(64)
+        .collect();
+    group.bench_function("lemma7_route", |b| {
+        b.iter(|| {
+            for &(u, v) in &same_set {
+                simulate(&g, &t1, u, v).expect("route");
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_techniques);
+criterion_main!(benches);

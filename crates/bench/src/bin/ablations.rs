@@ -1,0 +1,50 @@
+//! Experiment E-ABL: ablations over the design choices DESIGN.md calls out —
+//! the Lemma 5 hitting-set construction (greedy vs. randomized) and the ball
+//! scaling constant `α` in `q̃ = α·q·log n`.
+//!
+//! Run with: `cargo run -p routing-bench --release --bin ablations [n]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_bench::{evaluate_scheme, ExperimentConfig};
+use routing_core::{HittingStrategy, Params, SchemeThreePlusEps};
+use routing_graph::apsp::DistanceMatrix;
+use routing_graph::generators::{Family, WeightModel};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(300);
+    let mut rng = StdRng::seed_from_u64(23);
+    let g = Family::ErdosRenyi.generate(n, WeightModel::Uniform { lo: 1, hi: 16 }, &mut rng);
+    let exact = DistanceMatrix::new(&g);
+    let cfg = ExperimentConfig { n, epsilon: 0.25, seed: 23, pairs: Some(2000) };
+
+    println!("ablations on the warm-up (3+eps) scheme, n={n}");
+    println!(
+        "{:<28} {:>10} {:>10} {:>12} {:>10}",
+        "variant", "max str", "mean str", "table max", "table mean"
+    );
+    let variants: Vec<(String, Params)> = vec![
+        ("greedy hitting set".into(), Params { hitting: HittingStrategy::Greedy, ..cfg.params() }),
+        ("random hitting set".into(), Params { hitting: HittingStrategy::Random, ..cfg.params() }),
+        ("ball scale 0.5".into(), Params { ball_scale: 0.5, ..cfg.params() }),
+        ("ball scale 1.0 (paper)".into(), cfg.params()),
+        ("ball scale 2.0".into(), Params { ball_scale: 2.0, ..cfg.params() }),
+    ];
+    for (name, params) in variants {
+        let mut rng = StdRng::seed_from_u64(23);
+        match SchemeThreePlusEps::build(&g, &params, &mut rng) {
+            Ok(scheme) => {
+                let r = evaluate_scheme(&g, &scheme, &exact, &cfg).expect("eval");
+                println!(
+                    "{:<28} {:>10.3} {:>10.3} {:>12} {:>10.1}",
+                    name,
+                    r.stretch.max_multiplicative().unwrap_or(1.0),
+                    r.stretch.mean_multiplicative().unwrap_or(1.0),
+                    r.table.max(),
+                    r.table.mean()
+                );
+            }
+            Err(e) => println!("{:<28} build failed: {e}", name),
+        }
+    }
+}

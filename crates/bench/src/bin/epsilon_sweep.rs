@@ -1,0 +1,76 @@
+//! Experiment E-EPS: how the `1/ε` factor in the table-size bounds and the
+//! `+ε` in the stretch bounds materialize. Fixes `n`, sweeps `ε`, and prints
+//! measured stretch and table sizes for the three measured schemes of the
+//! paper.
+//!
+//! Run with: `cargo run -p routing-bench --release --bin epsilon_sweep [n]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_bench::{evaluate_scheme, ExperimentConfig};
+use routing_core::{Params, SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
+use routing_graph::apsp::DistanceMatrix;
+use routing_graph::generators::{Family, WeightModel};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(300);
+    let mut rng = StdRng::seed_from_u64(17);
+    let unweighted = Family::ErdosRenyi.generate(n, WeightModel::Unit, &mut rng);
+    let weighted = Family::ErdosRenyi.generate(n, WeightModel::Uniform { lo: 1, hi: 32 }, &mut rng);
+    let exact_u = DistanceMatrix::new(&unweighted);
+    let exact_w = DistanceMatrix::new(&weighted);
+
+    println!("epsilon sweep, n={n} (erdos-renyi)");
+    println!(
+        "{:>8} {:<10} {:>10} {:>10} {:>12} {:>10}",
+        "epsilon", "scheme", "max str", "mean str", "table max", "header"
+    );
+    for &epsilon in &[2.0, 1.0, 0.5, 0.25, 0.125] {
+        let cfg = ExperimentConfig { n, epsilon, seed: 17, pairs: Some(2000) };
+        let params = Params::with_epsilon(epsilon);
+        let mut rng = StdRng::seed_from_u64(17);
+        let runs: Vec<(&str, routing_model::eval::EvalReport)> = vec![
+            (
+                "thm10",
+                evaluate_scheme(
+                    &unweighted,
+                    &SchemeTwoPlusEps::build(&unweighted, &params, &mut rng).expect("thm10"),
+                    &exact_u,
+                    &cfg,
+                )
+                .expect("eval"),
+            ),
+            (
+                "thm11",
+                evaluate_scheme(
+                    &weighted,
+                    &SchemeFivePlusEps::build(&weighted, &params, &mut rng).expect("thm11"),
+                    &exact_w,
+                    &cfg,
+                )
+                .expect("eval"),
+            ),
+            (
+                "warmup",
+                evaluate_scheme(
+                    &weighted,
+                    &SchemeThreePlusEps::build(&weighted, &params, &mut rng).expect("warmup"),
+                    &exact_w,
+                    &cfg,
+                )
+                .expect("eval"),
+            ),
+        ];
+        for (name, r) in runs {
+            println!(
+                "{:>8} {:<10} {:>10.3} {:>10.3} {:>12} {:>10}",
+                epsilon,
+                name,
+                r.stretch.max_multiplicative().unwrap_or(1.0),
+                r.stretch.mean_multiplicative().unwrap_or(1.0),
+                r.table.max(),
+                r.max_header_words
+            );
+        }
+    }
+}

@@ -1,0 +1,67 @@
+//! Experiment E-SCALE: table-size scaling exponents. For a sweep of `n`,
+//! measure the maximum per-vertex table size of each scheme and report
+//! `max / n^x` for the paper's claimed exponent `x` — flat normalized
+//! columns confirm the claimed `Õ(n^x)` shape.
+//!
+//! Run with: `cargo run -p routing-bench --release --bin scaling [n1 n2 ...]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_baselines::TzRoutingScheme;
+use routing_core::{SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
+use routing_graph::generators::{Family, WeightModel};
+use routing_model::RoutingScheme;
+
+fn main() {
+    let sizes: Vec<usize> = {
+        let args: Vec<usize> =
+            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
+        if args.is_empty() { vec![200, 400, 800] } else { args }
+    };
+    println!("table-size scaling (erdos-renyi, eps=0.25)");
+    println!(
+        "{:>6} {:>22} {:>22} {:>22} {:>22} {:>22}",
+        "n",
+        "thm10 max (/n^2/3)",
+        "thm11 max (/n^1/3)",
+        "warmup max (/n^1/2)",
+        "tz k=2 max (/n^1/2)",
+        "tz k=3 max (/n^1/3)"
+    );
+    for &n in &sizes {
+        let params = routing_core::Params::with_epsilon(0.25);
+        let mut rng = StdRng::seed_from_u64(13);
+        let unweighted = Family::ErdosRenyi.generate(n, WeightModel::Unit, &mut rng);
+        let weighted =
+            Family::ErdosRenyi.generate(n, WeightModel::Uniform { lo: 1, hi: 32 }, &mut rng);
+
+        let max_of = |words: Vec<usize>| words.into_iter().max().unwrap_or(0);
+        let norm = |max: usize, e: f64| max as f64 / (n as f64).powf(e);
+
+        let thm10 = SchemeTwoPlusEps::build(&unweighted, &params, &mut rng).expect("thm10");
+        let m10 = max_of(unweighted.vertices().map(|v| thm10.table_words(v)).collect());
+        let thm11 = SchemeFivePlusEps::build(&weighted, &params, &mut rng).expect("thm11");
+        let m11 = max_of(weighted.vertices().map(|v| thm11.table_words(v)).collect());
+        let warm = SchemeThreePlusEps::build(&weighted, &params, &mut rng).expect("warmup");
+        let mw = max_of(weighted.vertices().map(|v| warm.table_words(v)).collect());
+        let tz2 = TzRoutingScheme::build(&weighted, 2, &mut rng);
+        let m2 = max_of(weighted.vertices().map(|v| tz2.table_words(v)).collect());
+        let tz3 = TzRoutingScheme::build(&weighted, 3, &mut rng);
+        let m3 = max_of(weighted.vertices().map(|v| tz3.table_words(v)).collect());
+
+        println!(
+            "{:>6} {:>14} ({:>6.1}) {:>14} ({:>6.1}) {:>14} ({:>6.1}) {:>14} ({:>6.1}) {:>14} ({:>6.1})",
+            n,
+            m10,
+            norm(m10, 2.0 / 3.0),
+            m11,
+            norm(m11, 1.0 / 3.0),
+            mw,
+            norm(mw, 0.5),
+            m2,
+            norm(m2, 0.5),
+            m3,
+            norm(m3, 1.0 / 3.0),
+        );
+    }
+}

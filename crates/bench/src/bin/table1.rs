@@ -1,0 +1,40 @@
+//! Experiment T1: regenerate the paper's Table 1 — stretch and per-vertex
+//! table size of every implemented scheme (ours and the measured baselines)
+//! side by side with the cited theoretical rows.
+//!
+//! Run with: `cargo run -p routing-bench --release --bin table1 [n] [epsilon]`
+
+use routing_bench::{make_graph, print_table, run_table1, to_json, ExperimentConfig};
+use routing_graph::generators::{Family, WeightModel};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
+    let epsilon: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.25);
+    let cfg = ExperimentConfig { n, epsilon, seed: 7, pairs: Some(4000) };
+
+    for family in [Family::ErdosRenyi, Family::Geometric] {
+        let unweighted = make_graph(family, WeightModel::Unit, &cfg);
+        let weighted = make_graph(family, WeightModel::Uniform { lo: 1, hi: 32 }, &cfg);
+        println!(
+            "\ninstance family={} n={} m(unweighted)={} m(weighted)={} eps={}",
+            family.name(),
+            unweighted.n(),
+            unweighted.m(),
+            weighted.m(),
+            cfg.epsilon
+        );
+        match run_table1(&unweighted, &weighted, &cfg) {
+            Ok(rows) => {
+                print_table(&format!("Table 1 on {} graphs", family.name()), &rows);
+                if let Ok(json) = to_json(&rows) {
+                    let path = format!("table1_{}.json", family.name());
+                    if std::fs::write(&path, json).is_ok() {
+                        println!("(wrote {path})");
+                    }
+                }
+            }
+            Err(e) => eprintln!("table 1 failed on {}: {e}", family.name()),
+        }
+    }
+}

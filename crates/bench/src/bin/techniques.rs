@@ -1,0 +1,111 @@
+//! Experiments E-L7 and E-L8: the two routing techniques in isolation.
+//! For a sweep of `ε`, measure the observed intra-set (Lemma 7) and
+//! source-to-landmark (Lemma 8) stretch together with table and header
+//! sizes, confirming the `(1+ε)` guarantee and the `1/ε` space dependence.
+//!
+//! Run with: `cargo run -p routing-bench --release --bin techniques [n]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_core::{Params, Technique1Scheme, Technique2Scheme};
+use routing_graph::apsp::DistanceMatrix;
+use routing_graph::generators::{self, WeightModel};
+use routing_graph::VertexId;
+use routing_model::simulate;
+use routing_model::RoutingScheme;
+use routing_vicinity::{BallTable, Coloring};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(250);
+    let mut rng = StdRng::seed_from_u64(3);
+    let g = generators::erdos_renyi(n, 8.0 / n as f64, WeightModel::Uniform { lo: 1, hi: 16 }, &mut rng);
+    let exact = DistanceMatrix::new(&g);
+    let q = (n as f64).sqrt().ceil() as u32;
+
+    println!("technique experiments on weighted Erdos-Renyi, n={n}, q={q}");
+    println!(
+        "{:<8} {:<10} {:>10} {:>10} {:>12} {:>12}",
+        "lemma", "epsilon", "max str", "mean str", "table max", "header max"
+    );
+    for &epsilon in &[2.0, 1.0, 0.5, 0.25, 0.125] {
+        let params = Params::with_epsilon(epsilon);
+
+        // Lemma 7: partition by a Lemma 6 coloring of the vicinities.
+        let ell = params.scaled(q as usize, n);
+        let balls = BallTable::build(&g, ell);
+        let sets: Vec<Vec<VertexId>> = g
+            .vertices()
+            .map(|u| balls.ball(u).members().iter().map(|&(v, _)| v).collect())
+            .collect();
+        let coloring = Coloring::build_for_sets(n, q, &sets, 8, &mut rng).expect("coloring");
+        let color_of: Vec<u32> = g.vertices().map(|v| coloring.color(v)).collect();
+
+        let t1 = Technique1Scheme::build(&g, color_of.clone(), &params, &mut rng).expect("lemma 7");
+        let mut max_s: f64 = 1.0;
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        let mut header = 0usize;
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u == v || color_of[u.index()] != color_of[v.index()] {
+                    continue;
+                }
+                let out = simulate(&g, &t1, u, v).expect("route");
+                let s = out.weight as f64 / exact.dist(u, v).unwrap() as f64;
+                max_s = max_s.max(s);
+                sum += s;
+                cnt += 1;
+                header = header.max(out.max_header_words);
+            }
+        }
+        let table_max = g.vertices().map(|v| t1.table_words(v)).max().unwrap_or(0);
+        println!(
+            "{:<8} {:<10} {:>10.4} {:>10.4} {:>12} {:>12}",
+            "L7",
+            epsilon,
+            max_s,
+            sum / cnt as f64,
+            table_max,
+            header
+        );
+
+        // Lemma 8: destinations are a landmark-like sample partitioned to
+        // match the coloring.
+        let dests: Vec<VertexId> = g.vertices().filter(|v| v.0 % 5 == 0).collect();
+        let mut dest_partition = vec![Vec::new(); q as usize];
+        for (i, w) in dests.iter().enumerate() {
+            dest_partition[i % q as usize].push(*w);
+        }
+        let t2 = Technique2Scheme::build(&g, color_of.clone(), dest_partition.clone(), &params)
+            .expect("lemma 8");
+        let mut max_s: f64 = 1.0;
+        let mut sum = 0.0;
+        let mut cnt = 0usize;
+        let mut header = 0usize;
+        for (j, ws) in dest_partition.iter().enumerate() {
+            for &w in ws {
+                for u in g.vertices() {
+                    if u == w || color_of[u.index()] != j as u32 {
+                        continue;
+                    }
+                    let out = simulate(&g, &t2, u, w).expect("route");
+                    let s = out.weight as f64 / exact.dist(u, w).unwrap() as f64;
+                    max_s = max_s.max(s);
+                    sum += s;
+                    cnt += 1;
+                    header = header.max(out.max_header_words);
+                }
+            }
+        }
+        let table_max = g.vertices().map(|v| t2.table_words(v)).max().unwrap_or(0);
+        println!(
+            "{:<8} {:<10} {:>10.4} {:>10.4} {:>12} {:>12}",
+            "L8",
+            epsilon,
+            max_s,
+            sum / cnt.max(1) as f64,
+            table_max,
+            header
+        );
+    }
+}

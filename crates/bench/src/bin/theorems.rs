@@ -1,0 +1,84 @@
+//! Experiments E-T10, E-T11, E-W3: per-theorem stretch and table-size
+//! measurements across graph families, printed as one series per theorem
+//! (the paper's per-theorem "figures").
+//!
+//! Run with: `cargo run -p routing-bench --release --bin theorems [n] [epsilon]`
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_bench::{evaluate_scheme, make_graph, ExperimentConfig};
+use routing_core::{SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
+use routing_graph::apsp::DistanceMatrix;
+use routing_graph::generators::{Family, WeightModel};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
+    let epsilon: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.25);
+    let cfg = ExperimentConfig { n, epsilon, seed: 11, pairs: Some(3000) };
+    let params = cfg.params();
+
+    println!("theorem experiments: n={n} eps={epsilon}");
+    println!(
+        "{:<14} {:<26} {:>9} {:>9} {:>10} {:>12} {:>8}",
+        "family", "scheme", "max str", "mean str", "bound", "table max", "label"
+    );
+    for family in Family::ALL {
+        let unweighted = make_graph(family, WeightModel::Unit, &cfg);
+        let weighted = make_graph(family, WeightModel::Uniform { lo: 1, hi: 32 }, &cfg);
+        let exact_u = DistanceMatrix::new(&unweighted);
+        let exact_w = DistanceMatrix::new(&weighted);
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+
+        let rows: Vec<(&str, String, f64, f64, usize, usize)> = vec![
+            {
+                let s = SchemeTwoPlusEps::build(&unweighted, &params, &mut rng).expect("build");
+                let r = evaluate_scheme(&unweighted, &s, &exact_u, &cfg).expect("eval");
+                (
+                    "Thm 10",
+                    format!("(2+eps,1) = {:.2}d+1", 2.0 + epsilon),
+                    r.stretch.max_multiplicative().unwrap_or(1.0),
+                    r.stretch.mean_multiplicative().unwrap_or(1.0),
+                    r.table.max(),
+                    r.max_label_words,
+                )
+            },
+            {
+                let s = SchemeFivePlusEps::build(&weighted, &params, &mut rng).expect("build");
+                let r = evaluate_scheme(&weighted, &s, &exact_w, &cfg).expect("eval");
+                (
+                    "Thm 11",
+                    format!("5+eps = {:.2}", 5.0 + epsilon),
+                    r.stretch.max_multiplicative().unwrap_or(1.0),
+                    r.stretch.mean_multiplicative().unwrap_or(1.0),
+                    r.table.max(),
+                    r.max_label_words,
+                )
+            },
+            {
+                let s = SchemeThreePlusEps::build(&weighted, &params, &mut rng).expect("build");
+                let r = evaluate_scheme(&weighted, &s, &exact_w, &cfg).expect("eval");
+                (
+                    "warm-up",
+                    format!("3+eps = {:.2}", 3.0 + epsilon),
+                    r.stretch.max_multiplicative().unwrap_or(1.0),
+                    r.stretch.mean_multiplicative().unwrap_or(1.0),
+                    r.table.max(),
+                    r.max_label_words,
+                )
+            },
+        ];
+        for (name, bound, max_s, mean_s, table, label) in rows {
+            println!(
+                "{:<14} {:<26} {:>9.3} {:>9.3} {:>10} {:>12} {:>8}",
+                family.name(),
+                name,
+                max_s,
+                mean_s,
+                bound,
+                table,
+                label
+            );
+        }
+    }
+}

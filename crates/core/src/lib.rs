@@ -1,0 +1,50 @@
+//! The primary contribution of Roditty & Tov, *New routing techniques and
+//! their applications* (PODC 2015): two `(1+ε)`-stretch routing techniques
+//! for predefined vertex sets (Lemmas 7 and 8) and the compact routing
+//! schemes built from them (the `(3+ε)` warm-up, the `(2+ε, 1)` scheme of
+//! Theorem 10, the `(5+ε)` scheme of Theorem 11, the `(3±2/ℓ+ε, 2)` schemes
+//! of Theorems 13/15 and the `(4k−7+ε)` scheme of Theorem 16).
+//!
+//! Every scheme implements [`routing_model::RoutingScheme`], so it can be
+//! driven by the shared simulator, measured by the shared evaluation
+//! harness, and compared against the baselines in `routing-baselines`.
+//!
+//! # Quick start
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use routing_graph::generators::{self, WeightModel};
+//! use routing_core::{Params, SchemeThreePlusEps};
+//! use routing_model::simulate;
+//! use routing_graph::VertexId;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(1);
+//! let g = generators::erdos_renyi(120, 0.06, WeightModel::Unit, &mut rng);
+//! let scheme = SchemeThreePlusEps::build(&g, &Params::default(), &mut rng)?;
+//! let out = simulate(&g, &scheme, VertexId(0), VertexId(97))?;
+//! assert_eq!(out.destination(), VertexId(97));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+mod params;
+pub mod scheme_2eps1;
+pub mod scheme_3eps;
+pub mod scheme_5eps;
+pub mod seq;
+pub mod technique1;
+pub mod technique2;
+
+pub use error::BuildError;
+pub use params::{HittingStrategy, Params};
+pub use scheme_2eps1::SchemeTwoPlusEps;
+pub use scheme_3eps::SchemeThreePlusEps;
+pub use scheme_5eps::SchemeFivePlusEps;
+pub use technique1::{Technique1Router, Technique1Scheme};
+pub use technique2::{Technique2Router, Technique2Scheme};

@@ -1,0 +1,424 @@
+//! Theorem 11: a `(5+ε)`-stretch labeled routing scheme for weighted graphs
+//! with `Õ((1/ε)·n^{1/3}·log D)`-word routing tables — the paper's headline
+//! result, breaking the `√n` space barrier for stretch below 7.
+//!
+//! Ingredients (all with `q = ⌈n^{1/3}⌉`):
+//!
+//! * vicinities `B(u, q̃)` (Lemma 2);
+//! * a landmark set `A` of size `Õ(n^{2/3})` with clusters of size
+//!   `O(n^{1/3})` (Lemma 4) and the cluster trees `T_{C_A(w)}`: every vertex
+//!   `w` stores the tree labels of its own cluster members and the tree
+//!   routing information of the clusters containing it;
+//! * a Lemma 6 coloring inducing the source partition `U`, an arbitrary
+//!   balanced partition `W` of `A`, and the Lemma 8 router between them;
+//! * per color, one representative inside each vicinity.
+//!
+//! Routing from `u` to `v`: vicinity and cluster hits are exact. Otherwise
+//! the message walks (exactly) to the representative `w` of color
+//! `α(p_A(v))`, uses Lemma 8 to reach `p_A(v)` with stretch `(1+ε)`, steps
+//! over the first edge `(p_A(v), z)` of a shortest path to `v` (stored in
+//! `v`'s label) and finishes on the cluster tree of `z`, which contains `v`.
+//! The total is at most `(5+3ε)·d(u, v)`.
+
+use rand::Rng;
+
+use routing_graph::{Graph, Port, VertexId};
+use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
+use routing_tree::{tree_route_step, TreeLabel, TreeScheme};
+use routing_vicinity::{all_clusters, bunches, sample_centers_bounded, BallTable, Coloring, Landmarks};
+
+use crate::scheme_3eps::build_color_reps;
+use crate::technique2::{Technique2Header, Technique2Router};
+use crate::{BuildError, Params};
+
+/// Label of a destination under Theorem 11.
+#[derive(Debug, Clone)]
+pub struct Scheme5Label {
+    /// The destination vertex `v`.
+    pub vertex: VertexId,
+    /// Its nearest landmark `p_A(v)`.
+    pub p_a: VertexId,
+    /// The index `α(p_A(v))` of the destination set of `W` containing the
+    /// landmark.
+    pub alpha: u32,
+    /// The second endpoint `z` of the first edge on a shortest path from
+    /// `p_A(v)` to `v`, together with the port of that edge at `p_A(v)`.
+    /// `None` when `v` is itself a landmark.
+    pub first_edge: Option<(VertexId, Port)>,
+}
+
+impl Scheme5Label {
+    /// Size in `O(log n)`-bit words.
+    pub fn words(&self) -> usize {
+        3 + if self.first_edge.is_some() { 2 } else { 0 }
+    }
+}
+
+/// Routing phase carried in the header.
+#[derive(Debug, Clone)]
+enum Phase {
+    /// Destination inside the source's vicinity.
+    Direct,
+    /// Destination inside the source's cluster; route on that cluster tree.
+    ClusterTree {
+        root: VertexId,
+        label: TreeLabel,
+    },
+    /// Walking to the color representative of `α(p_A(v))`.
+    ToRep(VertexId),
+    /// Lemma 8 routing from the representative to `p_A(v)`.
+    ToLandmark(Technique2Header),
+    /// The message is at `p_A(v)` and is about to cross the stored first
+    /// edge towards `z`.
+    CrossFirstEdge,
+}
+
+/// Header of the Theorem 11 scheme.
+#[derive(Debug, Clone)]
+pub struct Scheme5Header {
+    phase: Phase,
+}
+
+impl HeaderSize for Scheme5Header {
+    fn words(&self) -> usize {
+        match &self.phase {
+            Phase::Direct | Phase::CrossFirstEdge => 1,
+            Phase::ToRep(_) => 2,
+            Phase::ClusterTree { label, .. } => 2 + label.words(),
+            Phase::ToLandmark(h) => 1 + h.words(),
+        }
+    }
+}
+
+/// The Theorem 11 `(5+ε)`-stretch routing scheme.
+#[derive(Debug, Clone)]
+pub struct SchemeFivePlusEps {
+    n: usize,
+    epsilon: f64,
+    q: u32,
+    balls: BallTable,
+    landmarks: Landmarks,
+    cluster_trees: Vec<TreeScheme>,
+    bunch_of: Vec<Vec<(VertexId, routing_graph::Weight)>>,
+    /// `α(a)` for every landmark `a`: its set in the destination partition.
+    alpha_of: std::collections::HashMap<VertexId, u32>,
+    color_of: Vec<u32>,
+    color_rep: Vec<Vec<VertexId>>,
+    router: Technique2Router,
+    /// Port at `p_A(v)` of the first edge towards `v`, per vertex `v`.
+    first_edge: Vec<Option<(VertexId, Port)>>,
+}
+
+impl SchemeFivePlusEps {
+    /// Preprocesses the scheme for a connected weighted graph `g`.
+    ///
+    /// # Errors
+    ///
+    /// Fails for disconnected graphs, invalid parameters, or when the Lemma 6
+    /// coloring cannot be built.
+    pub fn build<R: Rng>(g: &Graph, params: &Params, rng: &mut R) -> Result<Self, BuildError> {
+        params.validate().map_err(|what| BuildError::BadParameter { what })?;
+        if !g.is_connected() {
+            return Err(BuildError::Disconnected);
+        }
+        let n = g.n();
+        let q = (n as f64).powf(1.0 / 3.0).ceil().max(1.0) as u32;
+        let ell = params.scaled(q as usize, n);
+        let balls = BallTable::build(g, ell);
+
+        let s = ((params.landmark_scale * (n as f64).powf(2.0 / 3.0)).ceil() as usize).clamp(1, n);
+        let landmarks = sample_centers_bounded(g, s, rng);
+        let clusters = all_clusters(g, &landmarks);
+        let bunch_of = bunches(g, &clusters);
+        let mut cluster_trees = Vec::with_capacity(n);
+        for tree in &clusters {
+            cluster_trees.push(
+                TreeScheme::from_restricted(g, tree)
+                    .map_err(|e| BuildError::TooSmall { what: e.to_string() })?,
+            );
+        }
+
+        // First edge (p_A(v), z) of a shortest path from the landmark to v.
+        let mut first_edge: Vec<Option<(VertexId, Port)>> = vec![None; n];
+        for &a in landmarks.members() {
+            let spt = routing_graph::shortest_path::dijkstra(g, a);
+            for v in g.vertices() {
+                if landmarks.nearest(v) == Some(a) && v != a {
+                    if let Some(z) = spt.first_hop(v) {
+                        let port = g.port_to(a, z).expect("first hop is a neighbour");
+                        first_edge[v.index()] = Some((z, port));
+                    }
+                }
+            }
+        }
+
+        // Lemma 6 coloring for the source partition U.
+        let ball_sets: Vec<Vec<VertexId>> = g
+            .vertices()
+            .map(|u| balls.ball(u).members().iter().map(|&(v, _)| v).collect())
+            .collect();
+        let coloring = Coloring::build_for_sets(n, q, &ball_sets, params.coloring_retries, rng)?;
+        let color_of: Vec<u32> = g.vertices().map(|v| coloring.color(v)).collect();
+        let color_rep = build_color_reps(g, &balls, &color_of, q);
+
+        // Arbitrary balanced partition W of the landmark set A.
+        let mut dest_partition: Vec<Vec<VertexId>> = vec![Vec::new(); q as usize];
+        let mut alpha_of = std::collections::HashMap::new();
+        for (i, &a) in landmarks.members().iter().enumerate() {
+            let j = (i % q as usize) as u32;
+            dest_partition[j as usize].push(a);
+            alpha_of.insert(a, j);
+        }
+        let router = Technique2Router::build(g, &balls, color_of.clone(), &dest_partition, params)?;
+
+        Ok(SchemeFivePlusEps {
+            n,
+            epsilon: params.epsilon,
+            q,
+            balls,
+            landmarks,
+            cluster_trees,
+            bunch_of,
+            alpha_of,
+            color_of,
+            color_rep,
+            router,
+            first_edge,
+        })
+    }
+
+    /// The parameter `q = ⌈n^{1/3}⌉`.
+    pub fn q(&self) -> u32 {
+        self.q
+    }
+
+    /// The color (source-partition set) of vertex `v`.
+    pub fn color(&self, v: VertexId) -> u32 {
+        self.color_of[v.index()]
+    }
+
+    /// The landmark set `A`.
+    pub fn landmarks(&self) -> &Landmarks {
+        &self.landmarks
+    }
+}
+
+impl RoutingScheme for SchemeFivePlusEps {
+    type Label = Scheme5Label;
+    type Header = Scheme5Header;
+
+    fn name(&self) -> String {
+        format!("thm11-(5+eps)(eps={})", self.epsilon)
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn label_of(&self, v: VertexId) -> Scheme5Label {
+        let p_a = self.landmarks.nearest(v).unwrap_or(v);
+        let alpha = self.alpha_of.get(&p_a).copied().unwrap_or(0);
+        Scheme5Label { vertex: v, p_a, alpha, first_edge: self.first_edge[v.index()] }
+    }
+
+    fn init_header(&self, source: VertexId, dest: &Scheme5Label) -> Result<Scheme5Header, RouteError> {
+        let v = dest.vertex;
+        if source == v || self.balls.contains(source, v) {
+            return Ok(Scheme5Header { phase: Phase::Direct });
+        }
+        // v in C_A(source): the label of v in the source's cluster tree is
+        // stored at the source.
+        if let Some(label) = self.cluster_trees[source.index()].label(v) {
+            return Ok(Scheme5Header {
+                phase: Phase::ClusterTree { root: source, label: label.clone() },
+            });
+        }
+        let w = self.color_rep[source.index()][dest.alpha as usize];
+        if w == source {
+            let h = self.router.start(source, dest.p_a)?;
+            return Ok(Scheme5Header { phase: Phase::ToLandmark(h) });
+        }
+        Ok(Scheme5Header { phase: Phase::ToRep(w) })
+    }
+
+    fn decide(
+        &self,
+        at: VertexId,
+        header: &mut Scheme5Header,
+        dest: &Scheme5Label,
+    ) -> Result<Decision, RouteError> {
+        let v = dest.vertex;
+        if at == v {
+            return Ok(Decision::Deliver);
+        }
+        loop {
+            match &mut header.phase {
+                Phase::Direct => {
+                    return self
+                        .balls
+                        .first_port(at, v)
+                        .map(Decision::Forward)
+                        .ok_or_else(|| RouteError::MissingInformation {
+                            at,
+                            what: format!("{v} left the vicinity during direct routing"),
+                        })
+                }
+                Phase::ClusterTree { root, label } => {
+                    let node = self.cluster_trees[root.index()].node_info(at).ok_or_else(|| {
+                        RouteError::MissingInformation {
+                            at,
+                            what: format!("no cluster-tree information for T_C({root})"),
+                        }
+                    })?;
+                    return tree_route_step(node, label).map_err(|e| match e {
+                        RouteError::MissingInformation { what, .. } => {
+                            RouteError::MissingInformation { at, what }
+                        }
+                        other => other,
+                    });
+                }
+                Phase::ToRep(w) => {
+                    if at == *w {
+                        let h = self.router.start(at, dest.p_a)?;
+                        header.phase = Phase::ToLandmark(h);
+                        continue;
+                    }
+                    let w = *w;
+                    return self
+                        .balls
+                        .first_port(at, w)
+                        .map(Decision::Forward)
+                        .ok_or_else(|| RouteError::MissingInformation {
+                            at,
+                            what: format!("representative {w} left the vicinity"),
+                        });
+                }
+                Phase::ToLandmark(h) => {
+                    if at == dest.p_a {
+                        header.phase = Phase::CrossFirstEdge;
+                        continue;
+                    }
+                    return self.router.step(at, h, dest.p_a, &self.balls);
+                }
+                Phase::CrossFirstEdge => {
+                    // We are at p_A(v) (or just arrived at z after crossing).
+                    if at == dest.p_a {
+                        let (_, port) = dest.first_edge.ok_or_else(|| RouteError::BadLabel {
+                            what: format!("label of {v} lacks the first edge at its landmark"),
+                        })?;
+                        return Ok(Decision::Forward(port));
+                    }
+                    // At z now: v is in C_A(z); finish on z's cluster tree.
+                    let label = self.cluster_trees[at.index()].label(v).cloned().ok_or_else(
+                        || RouteError::MissingInformation {
+                            at,
+                            what: format!("{v} is not in the cluster of {at}"),
+                        },
+                    )?;
+                    header.phase = Phase::ClusterTree { root: at, label };
+                    continue;
+                }
+            }
+        }
+    }
+
+    fn table_words(&self, u: VertexId) -> usize {
+        let cluster_membership: usize = self.bunch_of[u.index()]
+            .iter()
+            .map(|&(w, _)| self.cluster_trees[w.index()].table_words(u))
+            .sum();
+        let own_cluster_labels: usize = self.cluster_trees[u.index()]
+            .vertices()
+            .map(|v| self.cluster_trees[u.index()].label(v).map(TreeLabel::words).unwrap_or(0))
+            .sum();
+        self.balls.words_at(u)
+            + cluster_membership
+            + own_cluster_labels
+            + self.q as usize
+            + self.router.table_words(u)
+    }
+
+    fn label_words(&self, v: VertexId) -> usize {
+        self.label_of(v).words()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use routing_graph::apsp::DistanceMatrix;
+    use routing_graph::generators::{self, WeightModel};
+    use routing_model::simulate;
+
+    fn check_all_pairs(g: &Graph, epsilon: f64, seed: u64) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let params = Params::with_epsilon(epsilon);
+        let scheme = SchemeFivePlusEps::build(g, &params, &mut rng).unwrap();
+        let exact = DistanceMatrix::new(g);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u == v {
+                    continue;
+                }
+                let out = simulate(g, &scheme, u, v).unwrap();
+                let d = exact.dist(u, v).unwrap();
+                let bound = (5.0 + 3.0 * epsilon) * d as f64 + 1e-9;
+                assert!(
+                    (out.weight as f64) <= bound,
+                    "theorem 11 bound violated for {u}->{v}: routed {} vs d={d}",
+                    out.weight
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn thm11_bound_on_weighted_random_graph() {
+        let mut rng = StdRng::seed_from_u64(51);
+        let g = generators::erdos_renyi(80, 0.06, WeightModel::Uniform { lo: 1, hi: 16 }, &mut rng);
+        check_all_pairs(&g, 0.5, 1);
+    }
+
+    #[test]
+    fn thm11_bound_on_unweighted_graph() {
+        let mut rng = StdRng::seed_from_u64(52);
+        let g = generators::erdos_renyi(80, 0.06, WeightModel::Unit, &mut rng);
+        check_all_pairs(&g, 0.25, 2);
+    }
+
+    #[test]
+    fn thm11_bound_on_weighted_geometric_graph() {
+        let mut rng = StdRng::seed_from_u64(53);
+        let g =
+            generators::random_geometric(70, 0.2, WeightModel::Uniform { lo: 1, hi: 8 }, &mut rng);
+        check_all_pairs(&g, 1.0, 3);
+    }
+
+    #[test]
+    fn thm11_metadata_and_sizes() {
+        let mut rng = StdRng::seed_from_u64(54);
+        let g = generators::erdos_renyi(60, 0.08, WeightModel::Uniform { lo: 1, hi: 4 }, &mut rng);
+        let scheme = SchemeFivePlusEps::build(&g, &Params::default(), &mut rng).unwrap();
+        assert!(scheme.name().contains("thm11"));
+        assert_eq!(RoutingScheme::n(&scheme), 60);
+        assert!(scheme.q() >= 4);
+        assert!(!scheme.landmarks().is_empty());
+        for v in g.vertices() {
+            assert!(scheme.table_words(v) > 0);
+            assert!(scheme.label_words(v) >= 3);
+        }
+    }
+
+    #[test]
+    fn thm11_rejects_disconnected_graphs() {
+        let mut b = routing_graph::GraphBuilder::new(4);
+        b.add_unit_edge(0, 1).unwrap();
+        b.add_unit_edge(2, 3).unwrap();
+        let g = b.build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = SchemeFivePlusEps::build(&g, &Params::default(), &mut rng).unwrap_err();
+        assert_eq!(err, BuildError::Disconnected);
+    }
+}

@@ -1,0 +1,74 @@
+//! The routing sequences at the heart of both techniques.
+//!
+//! A sequence is a list of *temporary targets* `⟨x_1, ..., x_{b'}⟩` stored at
+//! a source for a particular destination. The message hops from one
+//! temporary target to the next; each hop is either
+//!
+//! * a **ball hop** — the next target lies in the vicinity `B(·, q̃)` of the
+//!   current one, so Lemma 2 forwarding reaches it on a shortest path, or
+//! * an **edge hop** — the next target is an immediate neighbour of the
+//!   current one, reached over a single stored port (this is the paper's
+//!   footnote about storing edges instead of vertices so the fixed-port
+//!   model needs no neighbour-to-port oracle).
+
+use serde::{Deserialize, Serialize};
+
+use routing_graph::{Port, VertexId};
+
+/// How a temporary target is reached from the previous one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum HopKind {
+    /// The target is in the vicinity of the previous target; route with
+    /// Lemma 2 (every intermediate vertex knows the first-hop port).
+    Ball,
+    /// The target is a neighbour of the previous target; forward over this
+    /// port (valid at the previous target).
+    Edge(Port),
+}
+
+/// One temporary target of a routing sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SeqEntry {
+    /// The temporary target vertex.
+    pub vertex: VertexId,
+    /// How to reach it from the previous temporary target.
+    pub hop: HopKind,
+}
+
+impl SeqEntry {
+    /// A ball-hop entry.
+    pub fn ball(vertex: VertexId) -> Self {
+        SeqEntry { vertex, hop: HopKind::Ball }
+    }
+
+    /// An edge-hop entry over `port` (the port lives at the previous target).
+    pub fn edge(vertex: VertexId, port: Port) -> Self {
+        SeqEntry { vertex, hop: HopKind::Edge(port) }
+    }
+
+    /// Size of one entry in `O(log n)`-bit words (vertex + hop descriptor).
+    pub fn words() -> usize {
+        2
+    }
+}
+
+/// Size of a whole sequence in `O(log n)`-bit words.
+pub fn sequence_words(entries: &[SeqEntry]) -> usize {
+    SeqEntry::words() * entries.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_words() {
+        let a = SeqEntry::ball(VertexId(3));
+        assert_eq!(a.hop, HopKind::Ball);
+        let b = SeqEntry::edge(VertexId(4), Port(1));
+        assert_eq!(b.hop, HopKind::Edge(Port(1)));
+        assert_eq!(SeqEntry::words(), 2);
+        assert_eq!(sequence_words(&[a, b]), 4);
+        assert_eq!(sequence_words(&[]), 0);
+    }
+}

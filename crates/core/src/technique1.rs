@@ -1,0 +1,610 @@
+//! The first routing technique (Lemma 7): `(1+ε)`-stretch routing between
+//! vertices of the same set of a partition `U = {U_1, ..., U_q}` of `V`.
+//!
+//! **Preprocessing.** Every vertex stores its vicinity `B(u, q̃)` (Lemma 2).
+//! A hitting set `H` of size `Õ(n/q)` hits every vicinity (Lemma 5); for
+//! every `w ∈ H` a shortest-path tree `T(w)` spanning `V` is built and every
+//! vertex keeps the Lemma 3 tree-routing information of every `T(w)`.
+//! Finally, for every pair `u, v` in the same set of `U`, `u` stores a
+//! routing *sequence* of at most `2⌈2/ε⌉` temporary targets along a shortest
+//! `u`–`v` path; if the sequence does not end at `v` it ends at a hitting-set
+//! vertex `w ∈ B(·, q̃)` and `u` additionally stores `v`'s label in `T(w)`.
+//!
+//! **Routing.** The sequence travels in the message header. The message hops
+//! from temporary target to temporary target (ball hops via Lemma 2, edge
+//! hops via a stored port); if the last target is a hitting-set vertex `w`
+//! the remaining distance is covered on the tree `T(w)` using `v`'s tree
+//! label. The traversed path has weight at most `(1+ε)·d(u, v)`.
+
+use std::collections::{HashMap, HashSet};
+
+use rand::Rng;
+
+use routing_graph::shortest_path::dijkstra;
+use routing_graph::{Graph, VertexId, Weight};
+use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
+use routing_tree::{tree_route_step, TreeLabel, TreeScheme};
+use routing_vicinity::{hitting_set_greedy, hitting_set_random, BallTable};
+
+use crate::params::HittingStrategy;
+use crate::seq::{sequence_words, HopKind, SeqEntry};
+use crate::{BuildError, Params};
+
+/// A stored routing sequence for one (source, destination) pair.
+#[derive(Debug, Clone)]
+struct StoredSeq {
+    entries: Vec<SeqEntry>,
+    /// When the last entry is a hitting-set vertex `w` (not the destination),
+    /// the destination's label in `T(w)`.
+    final_tree_label: Option<TreeLabel>,
+}
+
+impl StoredSeq {
+    fn words(&self) -> usize {
+        sequence_words(&self.entries)
+            + self.final_tree_label.as_ref().map(TreeLabel::words).unwrap_or(0)
+    }
+}
+
+/// The header carried by a message routed with the first technique.
+#[derive(Debug, Clone)]
+pub struct Technique1Header {
+    seq: Vec<SeqEntry>,
+    idx: usize,
+    /// `(w, label of destination in T(w))` when the sequence ends at a
+    /// hitting-set vertex.
+    final_tree: Option<(VertexId, TreeLabel)>,
+    /// True once the message switched to routing on `T(w)`.
+    tree_mode: bool,
+}
+
+impl HeaderSize for Technique1Header {
+    fn words(&self) -> usize {
+        sequence_words(&self.seq)
+            + 1
+            + self.final_tree.as_ref().map(|(_, l)| 1 + l.words()).unwrap_or(0)
+    }
+}
+
+/// The Lemma 7 router. It is designed to be *embedded* in the full schemes:
+/// the schemes own the shared [`BallTable`] and pass it to
+/// [`Technique1Router::step`], while the router owns the hitting-set trees
+/// and the per-pair sequences.
+#[derive(Debug, Clone)]
+pub struct Technique1Router {
+    set_of: Vec<u32>,
+    hitting: Vec<VertexId>,
+    trees: HashMap<VertexId, TreeScheme>,
+    seqs: HashMap<(VertexId, VertexId), StoredSeq>,
+    /// Per-vertex word count of the stored sequences (precomputed).
+    seq_words: Vec<usize>,
+    b: usize,
+}
+
+impl Technique1Router {
+    /// Builds the router for the partition described by `set_of` (the set
+    /// index of every vertex). Sequences are stored for every ordered pair of
+    /// distinct vertices sharing a set index.
+    ///
+    /// `balls` must have been built with the `q̃` the scheme uses; the same
+    /// table must later be passed to [`Technique1Router::step`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the graph is disconnected (global shortest-path
+    /// trees must span `V`) or the parameters are invalid.
+    pub fn build<R: Rng>(
+        g: &Graph,
+        balls: &BallTable,
+        set_of: Vec<u32>,
+        params: &Params,
+        rng: &mut R,
+    ) -> Result<Self, BuildError> {
+        params.validate().map_err(|what| BuildError::BadParameter { what })?;
+        if !g.is_connected() {
+            return Err(BuildError::Disconnected);
+        }
+        assert_eq!(set_of.len(), g.n(), "set_of must cover every vertex");
+        let b = params.b_lemma7();
+
+        // Lemma 5: a hitting set for every vicinity.
+        let ball_sets: Vec<Vec<VertexId>> = g
+            .vertices()
+            .map(|u| balls.ball(u).members().iter().map(|&(v, _)| v).collect())
+            .collect();
+        let hitting = match params.hitting {
+            HittingStrategy::Greedy => hitting_set_greedy(g.n(), &ball_sets),
+            HittingStrategy::Random => hitting_set_random(g.n(), &ball_sets, rng),
+        };
+        let hitting_lookup: HashSet<VertexId> = hitting.iter().copied().collect();
+
+        // Global shortest-path trees for the hitting set.
+        let mut trees = HashMap::with_capacity(hitting.len());
+        for &w in &hitting {
+            let spt = dijkstra(g, w);
+            let tree = TreeScheme::from_spt(g, &spt)
+                .map_err(|e| BuildError::TooSmall { what: e.to_string() })?;
+            trees.insert(w, tree);
+        }
+
+        // Group vertices by set.
+        let mut groups: HashMap<u32, Vec<VertexId>> = HashMap::new();
+        for v in g.vertices() {
+            groups.entry(set_of[v.index()]).or_default().push(v);
+        }
+
+        // Sequences for every same-set ordered pair.
+        let mut seqs = HashMap::new();
+        let mut seq_words = vec![0usize; g.n()];
+        for members in groups.values() {
+            for &u in members {
+                if members.len() < 2 {
+                    continue;
+                }
+                let spt = dijkstra(g, u);
+                for &v in members {
+                    if v == u {
+                        continue;
+                    }
+                    let stored = build_sequence(g, balls, &spt, u, v, b, &hitting_lookup, &trees);
+                    seq_words[u.index()] += 1 + stored.words();
+                    seqs.insert((u, v), stored);
+                }
+            }
+        }
+
+        Ok(Technique1Router { set_of, hitting, trees, seqs, seq_words, b })
+    }
+
+    /// The hitting set `H` used by the router.
+    pub fn hitting_set(&self) -> &[VertexId] {
+        &self.hitting
+    }
+
+    /// Lemma 7's round budget `b = ⌈2/ε⌉`.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The set index of `v` in the partition the router was built with.
+    pub fn set_of(&self, v: VertexId) -> u32 {
+        self.set_of[v.index()]
+    }
+
+    /// True if a sequence is stored at `u` for `v` (i.e. they share a set).
+    pub fn has_sequence(&self, u: VertexId, v: VertexId) -> bool {
+        self.seqs.contains_key(&(u, v))
+    }
+
+    /// Builds the header a message needs when it starts the Lemma 7 phase at
+    /// `at` towards `dest`. `at` and `dest` must share a set of the
+    /// partition.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::MissingInformation`] if `at` stores no sequence
+    /// for `dest` (the pair is not in the same set).
+    pub fn start(&self, at: VertexId, dest: VertexId) -> Result<Technique1Header, RouteError> {
+        if at == dest {
+            return Ok(Technique1Header { seq: Vec::new(), idx: 0, final_tree: None, tree_mode: false });
+        }
+        let stored = self.seqs.get(&(at, dest)).ok_or_else(|| RouteError::MissingInformation {
+            at,
+            what: format!("no Lemma 7 sequence for destination {dest} (different partition set)"),
+        })?;
+        let final_tree = stored.final_tree_label.as_ref().map(|label| {
+            let w = stored.entries.last().expect("sequence is non-empty").vertex;
+            (w, label.clone())
+        });
+        let tree_mode = stored.entries.len() == 1 && final_tree.is_some();
+        Ok(Technique1Header { seq: stored.entries.clone(), idx: 0, final_tree, tree_mode })
+    }
+
+    /// One local routing decision of the Lemma 7 phase at vertex `at`.
+    ///
+    /// `balls` must be the same table the router was built with.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if required local information is missing, which
+    /// indicates a preprocessing bug rather than a routable situation.
+    pub fn step(
+        &self,
+        at: VertexId,
+        header: &mut Technique1Header,
+        dest: VertexId,
+        balls: &BallTable,
+    ) -> Result<Decision, RouteError> {
+        if at == dest {
+            return Ok(Decision::Deliver);
+        }
+        if header.tree_mode {
+            return self.tree_step(at, header);
+        }
+        if header.seq.is_empty() {
+            return Err(RouteError::MissingInformation {
+                at,
+                what: "empty Lemma 7 sequence for a non-trivial destination".into(),
+            });
+        }
+        // Advance past targets we are standing on.
+        while header.seq[header.idx].vertex == at {
+            if header.idx + 1 < header.seq.len() {
+                header.idx += 1;
+                if header.idx + 1 == header.seq.len() && header.final_tree.is_some() {
+                    // The next (= last) target is the hitting-set vertex: the
+                    // paper routes the rest on T(w) starting here.
+                    header.tree_mode = true;
+                    return self.tree_step(at, header);
+                }
+            } else {
+                // Standing on the last target which is not the destination
+                // and not a hitting-set final vertex: preprocessing bug.
+                return Err(RouteError::MissingInformation {
+                    at,
+                    what: "reached end of Lemma 7 sequence before the destination".into(),
+                });
+            }
+        }
+        if header.idx + 1 == header.seq.len() && header.final_tree.is_some() {
+            header.tree_mode = true;
+            return self.tree_step(at, header);
+        }
+        let target = header.seq[header.idx];
+        match target.hop {
+            HopKind::Edge(port) => Ok(Decision::Forward(port)),
+            HopKind::Ball => balls
+                .first_port(at, target.vertex)
+                .map(Decision::Forward)
+                .ok_or_else(|| RouteError::MissingInformation {
+                    at,
+                    what: format!("temporary target {} is outside B({at}, q̃)", target.vertex),
+                }),
+        }
+    }
+
+    fn tree_step(&self, at: VertexId, header: &Technique1Header) -> Result<Decision, RouteError> {
+        let (w, label) = header.final_tree.as_ref().ok_or_else(|| RouteError::MissingInformation {
+            at,
+            what: "tree mode without a final tree label".into(),
+        })?;
+        let tree = self.trees.get(w).ok_or_else(|| RouteError::MissingInformation {
+            at,
+            what: format!("no global tree stored for hitting-set vertex {w}"),
+        })?;
+        let node = tree.node_info(at).ok_or_else(|| RouteError::MissingInformation {
+            at,
+            what: format!("vertex has no routing information for T({w})"),
+        })?;
+        tree_route_step(node, label).map_err(|e| match e {
+            RouteError::MissingInformation { what, .. } => RouteError::MissingInformation { at, what },
+            other => other,
+        })
+    }
+
+    /// The words Lemma 7 charges to `v`: tree-routing information for every
+    /// hitting-set tree plus the stored sequences. (The shared ball table is
+    /// accounted by the embedding scheme.)
+    pub fn table_words(&self, v: VertexId) -> usize {
+        let tree_words: usize = self.trees.values().map(|t| t.table_words(v)).sum();
+        tree_words + self.seq_words[v.index()]
+    }
+}
+
+/// Computes the Lemma 7 sequence stored at `u` for `v`.
+#[allow(clippy::too_many_arguments)]
+fn build_sequence(
+    g: &Graph,
+    balls: &BallTable,
+    spt_u: &routing_graph::shortest_path::ShortestPathTree,
+    _u: VertexId,
+    v: VertexId,
+    b: usize,
+    hitting: &HashSet<VertexId>,
+    trees: &HashMap<VertexId, TreeScheme>,
+) -> StoredSeq {
+    let path = spt_u.path_to(v).expect("graph is connected");
+    let d_uv = spt_u.dist(v).expect("graph is connected");
+    let mut entries: Vec<SeqEntry> = Vec::new();
+    let mut pos = 0usize;
+    loop {
+        let xi = path[pos];
+        if balls.contains(xi, v) {
+            entries.push(SeqEntry::ball(v));
+            return StoredSeq { entries, final_tree_label: None };
+        }
+        // First vertex on the remaining path outside B(xi, q̃); it exists
+        // because v itself is outside.
+        let mut j = pos + 1;
+        while balls.contains(xi, path[j]) {
+            j += 1;
+        }
+        let zi = path[j];
+        let yi = path[j - 1];
+        if zi == v {
+            if yi != xi {
+                entries.push(SeqEntry::ball(yi));
+            }
+            let port = g.port_to(yi, v).expect("consecutive path vertices are adjacent");
+            entries.push(SeqEntry::edge(v, port));
+            return StoredSeq { entries, final_tree_label: None };
+        }
+        let d_xi_zi: Weight = spt_u.dist(zi).expect("on path") - spt_u.dist(xi).expect("on path");
+        if (d_xi_zi as u128) * (b as u128) < d_uv as u128 {
+            // Progress below the threshold s = d(u,v)/b: finish via a
+            // hitting-set vertex of B(xi, q̃).
+            let w = balls
+                .ball(xi)
+                .members()
+                .iter()
+                .map(|&(m, _)| m)
+                .find(|m| hitting.contains(m))
+                .expect("hitting set hits every vicinity");
+            let label = trees
+                .get(&w)
+                .expect("tree exists for every hitting-set vertex")
+                .label(v)
+                .expect("global tree spans every vertex")
+                .clone();
+            entries.push(SeqEntry::ball(w));
+            return StoredSeq { entries, final_tree_label: Some(label) };
+        }
+        if yi != xi {
+            entries.push(SeqEntry::ball(yi));
+        }
+        let port = g.port_to(yi, zi).expect("consecutive path vertices are adjacent");
+        entries.push(SeqEntry::edge(zi, port));
+        pos = j;
+    }
+}
+
+/// The standalone Lemma 7 routing scheme: routes between any two vertices of
+/// the same partition set with stretch `(1+ε)`. Destinations in a different
+/// set are rejected (the full schemes of Section 4 are what extends this to
+/// all pairs).
+#[derive(Debug, Clone)]
+pub struct Technique1Scheme {
+    n: usize,
+    epsilon: f64,
+    balls: BallTable,
+    router: Technique1Router,
+}
+
+impl Technique1Scheme {
+    /// Builds the standalone scheme for a given partition (`set_of[v]` is the
+    /// set index of `v`) using balls of size `q̃ = scaled(q)` where `q` is the
+    /// number of distinct sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from the underlying router.
+    pub fn build<R: Rng>(
+        g: &Graph,
+        set_of: Vec<u32>,
+        params: &Params,
+        rng: &mut R,
+    ) -> Result<Self, BuildError> {
+        params.validate().map_err(|what| BuildError::BadParameter { what })?;
+        let q = set_of.iter().copied().max().map(|m| m as usize + 1).unwrap_or(1);
+        let ell = params.scaled(q, g.n());
+        let balls = BallTable::build(g, ell);
+        let router = Technique1Router::build(g, &balls, set_of, params, rng)?;
+        Ok(Technique1Scheme { n: g.n(), epsilon: params.epsilon, balls, router })
+    }
+
+    /// The underlying router (for inspection in tests and experiments).
+    pub fn router(&self) -> &Technique1Router {
+        &self.router
+    }
+
+    /// The shared ball table.
+    pub fn balls(&self) -> &BallTable {
+        &self.balls
+    }
+}
+
+/// Label of a destination for the standalone Lemma 7 scheme: the vertex and
+/// its partition set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Technique1Label {
+    /// The destination vertex.
+    pub vertex: VertexId,
+    /// Its set in the partition.
+    pub set: u32,
+}
+
+impl RoutingScheme for Technique1Scheme {
+    type Label = Technique1Label;
+    type Header = Technique1Header;
+
+    fn name(&self) -> String {
+        format!("lemma7(eps={})", self.epsilon)
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn label_of(&self, v: VertexId) -> Technique1Label {
+        Technique1Label { vertex: v, set: self.router.set_of(v) }
+    }
+
+    fn init_header(
+        &self,
+        source: VertexId,
+        dest: &Technique1Label,
+    ) -> Result<Technique1Header, RouteError> {
+        if source != dest.vertex && self.router.set_of(source) != dest.set {
+            return Err(RouteError::BadLabel {
+                what: format!(
+                    "lemma 7 routes only within a partition set ({source} is in set {}, {} in set {})",
+                    self.router.set_of(source),
+                    dest.vertex,
+                    dest.set
+                ),
+            });
+        }
+        self.router.start(source, dest.vertex)
+    }
+
+    fn decide(
+        &self,
+        at: VertexId,
+        header: &mut Technique1Header,
+        dest: &Technique1Label,
+    ) -> Result<Decision, RouteError> {
+        self.router.step(at, header, dest.vertex, &self.balls)
+    }
+
+    fn table_words(&self, v: VertexId) -> usize {
+        self.balls.words_at(v) + self.router.table_words(v)
+    }
+
+    fn label_words(&self, _v: VertexId) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use routing_graph::apsp::DistanceMatrix;
+    use routing_graph::generators::{self, WeightModel};
+    use routing_model::simulate;
+
+    fn partition_mod(n: usize, q: u32) -> Vec<u32> {
+        (0..n).map(|v| (v as u32) % q).collect()
+    }
+
+    fn check_intra_set_stretch(g: &Graph, set_of: Vec<u32>, epsilon: f64) {
+        let mut rng = StdRng::seed_from_u64(99);
+        let params = Params::with_epsilon(epsilon);
+        let scheme = Technique1Scheme::build(g, set_of.clone(), &params, &mut rng).unwrap();
+        let exact = DistanceMatrix::new(g);
+        let mut checked = 0usize;
+        for u in g.vertices() {
+            for v in g.vertices() {
+                if u == v || set_of[u.index()] != set_of[v.index()] {
+                    continue;
+                }
+                let out = simulate(g, &scheme, u, v).unwrap();
+                let d = exact.dist(u, v).unwrap();
+                let bound = (1.0 + epsilon) * d as f64 + 1e-9;
+                assert!(
+                    (out.weight as f64) <= bound,
+                    "stretch violated for {u}->{v}: routed {} vs (1+{epsilon})*{d}",
+                    out.weight
+                );
+                checked += 1;
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn lemma7_stretch_on_unweighted_random_graph() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let g = generators::erdos_renyi(90, 0.06, WeightModel::Unit, &mut rng);
+        check_intra_set_stretch(&g, partition_mod(90, 6), 0.5);
+    }
+
+    #[test]
+    fn lemma7_stretch_on_weighted_graph() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let g = generators::erdos_renyi(70, 0.07, WeightModel::Uniform { lo: 1, hi: 10 }, &mut rng);
+        check_intra_set_stretch(&g, partition_mod(70, 5), 0.25);
+    }
+
+    #[test]
+    fn lemma7_stretch_on_grid() {
+        // Large-diameter graph: sequences actually use several rounds.
+        let g = generators::grid(8, 8);
+        check_intra_set_stretch(&g, partition_mod(64, 4), 1.0);
+    }
+
+    #[test]
+    fn lemma7_rejects_cross_set_destinations() {
+        let g = generators::cycle(20);
+        let mut rng = StdRng::seed_from_u64(1);
+        let scheme =
+            Technique1Scheme::build(&g, partition_mod(20, 4), &Params::default(), &mut rng).unwrap();
+        let err = simulate(&g, &scheme, VertexId(0), VertexId(1)).unwrap_err();
+        assert!(matches!(err, RouteError::BadLabel { .. }));
+        // Same set works (0 and 4 are both in set 0).
+        let out = simulate(&g, &scheme, VertexId(0), VertexId(4)).unwrap();
+        assert_eq!(out.destination(), VertexId(4));
+    }
+
+    #[test]
+    fn lemma7_self_route() {
+        let g = generators::path(10);
+        let mut rng = StdRng::seed_from_u64(1);
+        let scheme =
+            Technique1Scheme::build(&g, partition_mod(10, 2), &Params::default(), &mut rng).unwrap();
+        let out = simulate(&g, &scheme, VertexId(3), VertexId(3)).unwrap();
+        assert_eq!(out.hops, 0);
+    }
+
+    #[test]
+    fn lemma7_disconnected_graph_is_rejected() {
+        let mut b = routing_graph::GraphBuilder::new(4);
+        b.add_unit_edge(0, 1).unwrap();
+        b.add_unit_edge(2, 3).unwrap();
+        let g = b.build();
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = Technique1Scheme::build(&g, partition_mod(4, 2), &Params::default(), &mut rng)
+            .unwrap_err();
+        assert_eq!(err, BuildError::Disconnected);
+    }
+
+    #[test]
+    fn lemma7_bad_epsilon_is_rejected() {
+        let g = generators::path(6);
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = Technique1Scheme::build(
+            &g,
+            partition_mod(6, 2),
+            &Params::with_epsilon(0.0),
+            &mut rng,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BuildError::BadParameter { .. }));
+    }
+
+    #[test]
+    fn greedy_and_random_hitting_sets_both_work() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let g = generators::erdos_renyi(60, 0.08, WeightModel::Unit, &mut rng);
+        for strategy in [HittingStrategy::Greedy, HittingStrategy::Random] {
+            let params = Params { hitting: strategy, ..Params::default() };
+            let scheme =
+                Technique1Scheme::build(&g, partition_mod(60, 5), &params, &mut rng).unwrap();
+            assert!(!scheme.router().hitting_set().is_empty());
+            let out = simulate(&g, &scheme, VertexId(0), VertexId(55)).unwrap();
+            assert_eq!(out.destination(), VertexId(55));
+        }
+    }
+
+    #[test]
+    fn header_and_table_sizes_are_reported() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::erdos_renyi(50, 0.1, WeightModel::Unit, &mut rng);
+        let params = Params::with_epsilon(0.5);
+        let scheme = Technique1Scheme::build(&g, partition_mod(50, 5), &params, &mut rng).unwrap();
+        assert_eq!(RoutingScheme::n(&scheme), 50);
+        assert!(scheme.name().contains("lemma7"));
+        assert_eq!(scheme.router().b(), 4);
+        for v in g.vertices() {
+            assert!(scheme.table_words(v) > 0);
+            assert_eq!(scheme.label_words(v), 2);
+        }
+        // Header length is bounded by the sequence budget plus the tree label.
+        let out = simulate(&g, &scheme, VertexId(0), VertexId(45)).unwrap();
+        assert!(out.max_header_words <= 2 * (2 * scheme.router().b() + 2) + 64);
+        assert!(scheme.router().has_sequence(VertexId(0), VertexId(5)));
+        assert!(!scheme.router().has_sequence(VertexId(0), VertexId(1)));
+        assert_eq!(scheme.balls().len(), 50);
+    }
+}

@@ -1,0 +1,570 @@
+//! The second routing technique (Lemma 8): `(1+ε)`-stretch routing from any
+//! vertex of `U_i` to any vertex of `W_i`, for partitions `U = {U_1,...,U_q}`
+//! of `V` and `W = {W_1,...,W_q}` of a destination set `W ⊆ V`, under the
+//! assumption that every set of `U` intersects every vicinity `B(u, q̃)`.
+//!
+//! **Preprocessing.** Every vertex stores `B(u, q̃)` (shared ball table).
+//! For every `j` and every pair `u ∈ U_j`, `w ∈ W_j`, `u` stores a sequence
+//! along a shortest `u`–`w` path: the first two path vertices followed by
+//! *subsequences* built with geometrically doubling thresholds
+//! `s = 2/b, 4/b, 8/b, ...` (`b = ⌈2/ε⌉+1`). A subsequence stops when it
+//! reaches `w`, or when the remaining step falls below the threshold — in
+//! which case it ends at a vertex `z ∈ B(·, q̃) ∩ U_j`, whose **own** stored
+//! sequence continues the journey (Claim 9 shows the distance to `w` shrinks
+//! every time, so the recursion terminates and the total detour is `ε·d`).
+//!
+//! **Routing.** The current sequence travels in the header; hops between
+//! temporary targets are ball hops (Lemma 2) or single-edge hops over stored
+//! ports, exactly as in Lemma 7. When the message reaches the last vertex of
+//! the sequence and it is not `w`, that vertex swaps in its own sequence for
+//! `w` and forwarding continues.
+
+use std::collections::HashMap;
+
+use routing_graph::shortest_path::dijkstra;
+use routing_graph::{Graph, VertexId, Weight};
+use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
+use routing_vicinity::BallTable;
+
+use crate::seq::{sequence_words, HopKind, SeqEntry};
+use crate::{BuildError, Params};
+
+/// The header carried by a message routed with the second technique.
+#[derive(Debug, Clone)]
+pub struct Technique2Header {
+    seq: Vec<SeqEntry>,
+    idx: usize,
+}
+
+impl HeaderSize for Technique2Header {
+    fn words(&self) -> usize {
+        sequence_words(&self.seq) + 1
+    }
+}
+
+/// The Lemma 8 router, designed to be embedded in the full schemes. The
+/// embedding scheme owns the shared [`BallTable`] and passes it to
+/// [`Technique2Router::step`].
+#[derive(Debug, Clone)]
+pub struct Technique2Router {
+    color_of: Vec<u32>,
+    /// Destination vertex -> its index `j` in the destination partition `W`.
+    dest_set_of: HashMap<VertexId, u32>,
+    seqs: HashMap<(VertexId, VertexId), Vec<SeqEntry>>,
+    seq_words: Vec<usize>,
+    b: usize,
+}
+
+impl Technique2Router {
+    /// Builds the router.
+    ///
+    /// * `color_of[v]` is the index of the set of `U` containing `v` (every
+    ///   vertex of `V` has one);
+    /// * `dest_partition[j]` lists the vertices of `W_j` (the destination
+    ///   sets); indices must align with the `U` indices.
+    ///
+    /// The Lemma 8 assumption — every `U_j` intersects every `B(u, q̃)` — is
+    /// what the Lemma 6 coloring provides; if it fails for some vicinity the
+    /// construction degrades gracefully (the affected sequence keeps walking
+    /// the shortest path instead of stopping early, so routing stays correct
+    /// but the sequence may be longer than `2b·log(nD)`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for invalid parameters or a disconnected graph.
+    pub fn build(
+        g: &Graph,
+        balls: &BallTable,
+        color_of: Vec<u32>,
+        dest_partition: &[Vec<VertexId>],
+        params: &Params,
+    ) -> Result<Self, BuildError> {
+        params.validate().map_err(|what| BuildError::BadParameter { what })?;
+        if !g.is_connected() {
+            return Err(BuildError::Disconnected);
+        }
+        assert_eq!(color_of.len(), g.n(), "color_of must cover every vertex");
+        let b = params.b_lemma8();
+
+        let mut dest_set_of = HashMap::new();
+        for (j, set) in dest_partition.iter().enumerate() {
+            for &w in set {
+                dest_set_of.insert(w, j as u32);
+            }
+        }
+
+        // Group the sources by color.
+        let mut classes: HashMap<u32, Vec<VertexId>> = HashMap::new();
+        for v in g.vertices() {
+            classes.entry(color_of[v.index()]).or_default().push(v);
+        }
+
+        let mut seqs = HashMap::new();
+        let mut seq_words = vec![0usize; g.n()];
+        for (j, dests) in dest_partition.iter().enumerate() {
+            let Some(sources) = classes.get(&(j as u32)) else { continue };
+            for &w in dests {
+                let spt_w = dijkstra(g, w);
+                for &u in sources {
+                    if u == w {
+                        continue;
+                    }
+                    let mut path = spt_w.path_to(u).expect("graph is connected");
+                    path.reverse(); // now u -> w
+                    let entries =
+                        build_t2_sequence(g, balls, &spt_w, &path, w, j as u32, &color_of, b);
+                    seq_words[u.index()] += 1 + sequence_words(&entries);
+                    seqs.insert((u, w), entries);
+                }
+            }
+        }
+
+        Ok(Technique2Router { color_of, dest_set_of, seqs, seq_words, b })
+    }
+
+    /// Lemma 8's round budget `b = ⌈2/ε⌉ + 1`.
+    pub fn b(&self) -> usize {
+        self.b
+    }
+
+    /// The `U` set index of vertex `v`.
+    pub fn color_of(&self, v: VertexId) -> u32 {
+        self.color_of[v.index()]
+    }
+
+    /// The `W` set index of destination `w`, if `w ∈ W`.
+    pub fn dest_set_of(&self, w: VertexId) -> Option<u32> {
+        self.dest_set_of.get(&w).copied()
+    }
+
+    /// True if `u` stores a sequence for destination `w`.
+    pub fn has_sequence(&self, u: VertexId, w: VertexId) -> bool {
+        self.seqs.contains_key(&(u, w))
+    }
+
+    /// Builds the header for a message starting its Lemma 8 phase at `at`
+    /// towards destination `dest ∈ W`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RouteError::MissingInformation`] if `at` stores no sequence
+    /// for `dest` (they are not matched by the partitions).
+    pub fn start(&self, at: VertexId, dest: VertexId) -> Result<Technique2Header, RouteError> {
+        if at == dest {
+            return Ok(Technique2Header { seq: Vec::new(), idx: 0 });
+        }
+        let seq = self.seqs.get(&(at, dest)).ok_or_else(|| RouteError::MissingInformation {
+            at,
+            what: format!("no Lemma 8 sequence for destination {dest} at this vertex"),
+        })?;
+        Ok(Technique2Header { seq: seq.clone(), idx: 0 })
+    }
+
+    /// One local routing decision of the Lemma 8 phase at vertex `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when local information the construction promises is
+    /// missing (a preprocessing bug).
+    pub fn step(
+        &self,
+        at: VertexId,
+        header: &mut Technique2Header,
+        dest: VertexId,
+        balls: &BallTable,
+    ) -> Result<Decision, RouteError> {
+        if at == dest {
+            return Ok(Decision::Deliver);
+        }
+        if header.seq.is_empty() {
+            // The start vertex had no sequence of its own (at == dest case is
+            // handled above) — reload from this vertex.
+            *header = self.start(at, dest)?;
+        }
+        // Advance past targets we are standing on; when standing on the final
+        // target (which is not `dest`), swap in this vertex's own sequence.
+        let mut guard = 0usize;
+        while header.seq[header.idx].vertex == at {
+            if header.idx + 1 < header.seq.len() {
+                header.idx += 1;
+            } else {
+                let next = self.seqs.get(&(at, dest)).ok_or_else(|| {
+                    RouteError::MissingInformation {
+                        at,
+                        what: format!(
+                            "sequence ended at {at} which stores no continuation for {dest}"
+                        ),
+                    }
+                })?;
+                header.seq = next.clone();
+                header.idx = 0;
+            }
+            guard += 1;
+            if guard > header.seq.len() + 2 {
+                return Err(RouteError::MissingInformation {
+                    at,
+                    what: "lemma 8 sequence advance did not make progress".into(),
+                });
+            }
+        }
+        let target = header.seq[header.idx];
+        match target.hop {
+            HopKind::Edge(port) => Ok(Decision::Forward(port)),
+            HopKind::Ball => balls
+                .first_port(at, target.vertex)
+                .map(Decision::Forward)
+                .ok_or_else(|| RouteError::MissingInformation {
+                    at,
+                    what: format!("temporary target {} is outside B({at}, q̃)", target.vertex),
+                }),
+        }
+    }
+
+    /// The words Lemma 8 charges to `v`: the stored sequences (the shared
+    /// ball table is accounted by the embedding scheme).
+    pub fn table_words(&self, v: VertexId) -> usize {
+        self.seq_words[v.index()]
+    }
+}
+
+/// Builds the Lemma 8 sequence stored at `path[0]` for destination `w`.
+///
+/// `spt_w` is the shortest-path tree rooted at `w`, so `spt_w.dist(x)` is
+/// `d(x, w)` for every path vertex `x`.
+#[allow(clippy::too_many_arguments)]
+fn build_t2_sequence(
+    g: &Graph,
+    balls: &BallTable,
+    spt_w: &routing_graph::shortest_path::ShortestPathTree,
+    path: &[VertexId],
+    w: VertexId,
+    j: u32,
+    color_of: &[u32],
+    b: usize,
+) -> Vec<SeqEntry> {
+    let mut entries = Vec::new();
+    let dist_to_w = |x: VertexId| -> Weight { spt_w.dist(x).expect("path vertex reaches w") };
+
+    // First two path vertices are explicit edge hops.
+    let u1 = path[1];
+    entries.push(SeqEntry::edge(u1, g.port_to(path[0], u1).expect("path edge")));
+    if u1 == w {
+        return entries;
+    }
+    let u2 = path[2];
+    entries.push(SeqEntry::edge(u2, g.port_to(u1, u2).expect("path edge")));
+    if u2 == w {
+        return entries;
+    }
+
+    // Subsequences with doubling thresholds s = thr_num / b.
+    let mut pos = 2usize; // position of the current subsequence's last vertex (x_i)
+    let mut thr_num: u128 = 2;
+    loop {
+        let mut count = 0usize;
+        loop {
+            let xi = path[pos];
+            if balls.contains(xi, w) {
+                entries.push(SeqEntry::ball(w));
+                return entries;
+            }
+            let mut jdx = pos + 1;
+            while balls.contains(xi, path[jdx]) {
+                jdx += 1;
+            }
+            let zi = path[jdx];
+            let yi = path[jdx - 1];
+            if zi == w {
+                if yi != xi {
+                    entries.push(SeqEntry::ball(yi));
+                }
+                entries.push(SeqEntry::edge(w, g.port_to(yi, w).expect("path edge")));
+                return entries;
+            }
+            let d_xi_zi = dist_to_w(xi) - dist_to_w(zi);
+            if (d_xi_zi as u128) * (b as u128) < thr_num {
+                // Below the threshold: hand over to a vertex of U_j inside
+                // the vicinity (guaranteed by the Lemma 8 assumption).
+                let z = balls
+                    .ball(xi)
+                    .members()
+                    .iter()
+                    .map(|&(m, _)| m)
+                    .find(|&m| color_of[m.index()] == j);
+                if let Some(z) = z {
+                    entries.push(SeqEntry::ball(z));
+                    return entries;
+                }
+                // Assumption violated at this vicinity (possible at tiny
+                // scales): keep walking the path instead; routing stays
+                // correct, the sequence is just longer.
+            }
+            if yi != xi {
+                entries.push(SeqEntry::ball(yi));
+                count += 1;
+            }
+            entries.push(SeqEntry::edge(zi, g.port_to(yi, zi).expect("path edge")));
+            count += 1;
+            pos = jdx;
+            if count >= 2 * b {
+                break;
+            }
+        }
+        thr_num = thr_num.saturating_mul(2);
+    }
+}
+
+/// The standalone Lemma 8 routing scheme: routes from any vertex to any
+/// destination in `W` whose `W`-set index matches the source's `U`-set index
+/// — or, when they differ, first walks (exactly, inside the source's
+/// vicinity) to a `U`-set representative, which is how the full schemes use
+/// the technique. Destinations outside `W` are rejected.
+#[derive(Debug, Clone)]
+pub struct Technique2Scheme {
+    n: usize,
+    epsilon: f64,
+    balls: BallTable,
+    router: Technique2Router,
+}
+
+impl Technique2Scheme {
+    /// Builds the standalone scheme. `color_of` assigns every vertex its `U`
+    /// set; `dest_partition` lists the `W_j`. Balls use `q̃ = scaled(q)` where
+    /// `q` is the number of sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`BuildError`] from the underlying router.
+    pub fn build(
+        g: &Graph,
+        color_of: Vec<u32>,
+        dest_partition: Vec<Vec<VertexId>>,
+        params: &Params,
+    ) -> Result<Self, BuildError> {
+        params.validate().map_err(|what| BuildError::BadParameter { what })?;
+        let q = dest_partition.len().max(1);
+        let ell = params.scaled(q, g.n());
+        let balls = BallTable::build(g, ell);
+        let router = Technique2Router::build(g, &balls, color_of, &dest_partition, params)?;
+        Ok(Technique2Scheme { n: g.n(), epsilon: params.epsilon, balls, router })
+    }
+
+    /// The underlying router.
+    pub fn router(&self) -> &Technique2Router {
+        &self.router
+    }
+
+    /// The shared ball table.
+    pub fn balls(&self) -> &BallTable {
+        &self.balls
+    }
+}
+
+/// Label for the standalone Lemma 8 scheme: the destination and its `W` set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Technique2Label {
+    /// The destination vertex (must be in `W`).
+    pub vertex: VertexId,
+    /// Its set index in the `W` partition.
+    pub set: u32,
+}
+
+impl RoutingScheme for Technique2Scheme {
+    type Label = Technique2Label;
+    type Header = Technique2Header;
+
+    fn name(&self) -> String {
+        format!("lemma8(eps={})", self.epsilon)
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn label_of(&self, v: VertexId) -> Technique2Label {
+        Technique2Label { vertex: v, set: self.router.dest_set_of(v).unwrap_or(u32::MAX) }
+    }
+
+    fn init_header(
+        &self,
+        source: VertexId,
+        dest: &Technique2Label,
+    ) -> Result<Technique2Header, RouteError> {
+        if source == dest.vertex {
+            return Ok(Technique2Header { seq: Vec::new(), idx: 0 });
+        }
+        if dest.set == u32::MAX {
+            return Err(RouteError::BadLabel {
+                what: format!("{} is not a lemma 8 destination (not in W)", dest.vertex),
+            });
+        }
+        if self.router.color_of(source) != dest.set {
+            return Err(RouteError::BadLabel {
+                what: format!(
+                    "source set {} does not match destination set {}",
+                    self.router.color_of(source),
+                    dest.set
+                ),
+            });
+        }
+        self.router.start(source, dest.vertex)
+    }
+
+    fn decide(
+        &self,
+        at: VertexId,
+        header: &mut Technique2Header,
+        dest: &Technique2Label,
+    ) -> Result<Decision, RouteError> {
+        self.router.step(at, header, dest.vertex, &self.balls)
+    }
+
+    fn table_words(&self, v: VertexId) -> usize {
+        self.balls.words_at(v) + self.router.table_words(v)
+    }
+
+    fn label_words(&self, _v: VertexId) -> usize {
+        2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use routing_graph::apsp::DistanceMatrix;
+    use routing_graph::generators::{self, WeightModel};
+    use routing_model::simulate;
+    use routing_vicinity::Coloring;
+
+    /// Builds a Lemma-6-style coloring of the graph's vicinities so the
+    /// Lemma 8 assumption holds, and an arbitrary partition of `dests`.
+    fn setup(
+        g: &Graph,
+        q: u32,
+        dests: Vec<VertexId>,
+        params: &Params,
+        seed: u64,
+    ) -> (Vec<u32>, Vec<Vec<VertexId>>) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let ell = params.scaled(q as usize, g.n());
+        let balls = BallTable::build(g, ell);
+        let sets: Vec<Vec<VertexId>> = g
+            .vertices()
+            .map(|u| balls.ball(u).members().iter().map(|&(v, _)| v).collect())
+            .collect();
+        let coloring = Coloring::build_for_sets(g.n(), q, &sets, 8, &mut rng).unwrap();
+        let color_of: Vec<u32> = g.vertices().map(|v| coloring.color(v)).collect();
+        let mut dest_partition = vec![Vec::new(); q as usize];
+        for (i, w) in dests.into_iter().enumerate() {
+            dest_partition[i % q as usize].push(w);
+        }
+        (color_of, dest_partition)
+    }
+
+    fn check_stretch(g: &Graph, q: u32, epsilon: f64, seed: u64) {
+        let params = Params::with_epsilon(epsilon);
+        let dests: Vec<VertexId> = g.vertices().filter(|v| v.0 % 3 == 0).collect();
+        let (color_of, dest_partition) = setup(g, q, dests, &params, seed);
+        let scheme =
+            Technique2Scheme::build(g, color_of.clone(), dest_partition.clone(), &params).unwrap();
+        let exact = DistanceMatrix::new(g);
+        let mut checked = 0;
+        for (j, dests) in dest_partition.iter().enumerate() {
+            for &w in dests {
+                for u in g.vertices() {
+                    if u == w || color_of[u.index()] != j as u32 {
+                        continue;
+                    }
+                    let out = simulate(g, &scheme, u, w).unwrap();
+                    let d = exact.dist(u, w).unwrap();
+                    let bound = (1.0 + epsilon) * d as f64 + 1e-9;
+                    assert!(
+                        (out.weight as f64) <= bound,
+                        "lemma 8 stretch violated for {u}->{w}: {} vs (1+{epsilon})*{d}",
+                        out.weight
+                    );
+                    checked += 1;
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+
+    #[test]
+    fn lemma8_stretch_on_unweighted_random_graph() {
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generators::erdos_renyi(80, 0.07, WeightModel::Unit, &mut rng);
+        check_stretch(&g, 4, 0.5, 1);
+    }
+
+    #[test]
+    fn lemma8_stretch_on_weighted_random_graph() {
+        let mut rng = StdRng::seed_from_u64(22);
+        let g = generators::erdos_renyi(70, 0.08, WeightModel::Uniform { lo: 1, hi: 12 }, &mut rng);
+        check_stretch(&g, 4, 0.25, 2);
+    }
+
+    #[test]
+    fn lemma8_stretch_on_grid() {
+        let g = generators::grid(9, 9);
+        check_stretch(&g, 3, 1.0, 3);
+    }
+
+    #[test]
+    fn lemma8_rejects_non_destinations_and_mismatched_sets() {
+        let g = generators::cycle(24);
+        let params = Params::default();
+        let dests = vec![VertexId(0), VertexId(6), VertexId(12), VertexId(18)];
+        let (color_of, dest_partition) = setup(&g, 2, dests.clone(), &params, 5);
+        let scheme = Technique2Scheme::build(&g, color_of.clone(), dest_partition, &params).unwrap();
+        // A vertex that is not in W at all.
+        let err = simulate(&g, &scheme, VertexId(1), VertexId(3)).unwrap_err();
+        assert!(matches!(err, RouteError::BadLabel { .. }));
+        // A W destination whose set does not match the source's color.
+        let w = dests
+            .iter()
+            .copied()
+            .find(|&w| scheme.router().dest_set_of(w) != Some(color_of[VertexId(1).index()]))
+            .unwrap();
+        let err = simulate(&g, &scheme, VertexId(1), w).unwrap_err();
+        assert!(matches!(err, RouteError::BadLabel { .. }));
+    }
+
+    #[test]
+    fn lemma8_self_route_and_sizes() {
+        let mut rng = StdRng::seed_from_u64(30);
+        let g = generators::erdos_renyi(50, 0.1, WeightModel::Unit, &mut rng);
+        let params = Params::with_epsilon(0.5);
+        let dests: Vec<VertexId> = (0..10).map(VertexId).collect();
+        let (color_of, dest_partition) = setup(&g, 3, dests, &params, 6);
+        let scheme = Technique2Scheme::build(&g, color_of, dest_partition, &params).unwrap();
+        let out = simulate(&g, &scheme, VertexId(5), VertexId(5)).unwrap();
+        assert_eq!(out.hops, 0);
+        assert!(scheme.name().contains("lemma8"));
+        assert_eq!(RoutingScheme::n(&scheme), 50);
+        assert_eq!(scheme.router().b(), 5);
+        assert_eq!(scheme.balls().len(), 50);
+        for v in g.vertices() {
+            assert!(scheme.table_words(v) > 0);
+            assert_eq!(scheme.label_words(v), 2);
+        }
+    }
+
+    #[test]
+    fn lemma8_disconnected_is_rejected() {
+        let mut b = routing_graph::GraphBuilder::new(4);
+        b.add_unit_edge(0, 1).unwrap();
+        b.add_unit_edge(2, 3).unwrap();
+        let g = b.build();
+        let err = Technique2Scheme::build(
+            &g,
+            vec![0, 0, 0, 0],
+            vec![vec![VertexId(0)]],
+            &Params::default(),
+        )
+        .unwrap_err();
+        assert_eq!(err, BuildError::Disconnected);
+    }
+}

@@ -1,0 +1,117 @@
+//! Exact all-pairs shortest paths, used as ground truth by tests and by the
+//! stretch measurements in the experiment harness.
+//!
+//! The matrix costs `O(n^2)` memory and `n` Dijkstra runs to build, which is
+//! fine at the laptop scales the reproduction targets (a few thousand
+//! vertices).
+
+use crate::shortest_path::dijkstra;
+use crate::{Graph, VertexId, Weight, INFINITY};
+
+/// Dense all-pairs distance matrix.
+#[derive(Debug, Clone)]
+pub struct DistanceMatrix {
+    n: usize,
+    dist: Vec<Weight>,
+}
+
+impl DistanceMatrix {
+    /// Computes exact distances between every pair of vertices.
+    pub fn new(g: &Graph) -> Self {
+        let n = g.n();
+        let mut dist = vec![INFINITY; n * n];
+        for u in g.vertices() {
+            let sp = dijkstra(g, u);
+            for v in g.vertices() {
+                if let Some(d) = sp.dist(v) {
+                    dist[u.index() * n + v.index()] = d;
+                }
+            }
+        }
+        DistanceMatrix { n, dist }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Exact distance between `u` and `v`, or `None` if unreachable.
+    pub fn dist(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        let d = self.dist[u.index() * self.n + v.index()];
+        (d != INFINITY).then_some(d)
+    }
+
+    /// The (hop-unnormalized) diameter: the largest finite pairwise distance.
+    pub fn diameter(&self) -> Weight {
+        self.dist.iter().copied().filter(|&d| d != INFINITY).max().unwrap_or(0)
+    }
+
+    /// The smallest non-zero pairwise distance.
+    pub fn min_positive_distance(&self) -> Option<Weight> {
+        self.dist.iter().copied().filter(|&d| d != INFINITY && d > 0).min()
+    }
+
+    /// Multiplicative stretch of a routed path of total weight `routed`
+    /// between `u` and `v`: `routed / d(u, v)`.
+    ///
+    /// Returns `None` if `u` and `v` are not connected; returns 1.0 when
+    /// `u == v`.
+    pub fn stretch(&self, u: VertexId, v: VertexId, routed: Weight) -> Option<f64> {
+        if u == v {
+            return Some(1.0);
+        }
+        let d = self.dist(u, v)?;
+        Some(routed as f64 / d as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn matrix_matches_dijkstra() {
+        let g = generators::grid(5, 5);
+        let m = DistanceMatrix::new(&g);
+        let sp = dijkstra(&g, VertexId(0));
+        for v in g.vertices() {
+            assert_eq!(m.dist(VertexId(0), v), sp.dist(v));
+        }
+        assert_eq!(m.n(), 25);
+        assert_eq!(m.diameter(), 8);
+        assert_eq!(m.min_positive_distance(), Some(1));
+    }
+
+    #[test]
+    fn matrix_is_symmetric() {
+        let g = generators::cycle(9);
+        let m = DistanceMatrix::new(&g);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                assert_eq!(m.dist(u, v), m.dist(v, u));
+            }
+        }
+    }
+
+    #[test]
+    fn disconnected_pairs_are_none() {
+        let mut b = GraphBuilder::new(4);
+        b.add_unit_edge(0, 1).unwrap();
+        b.add_unit_edge(2, 3).unwrap();
+        let g = b.build();
+        let m = DistanceMatrix::new(&g);
+        assert_eq!(m.dist(VertexId(0), VertexId(3)), None);
+        assert_eq!(m.dist(VertexId(0), VertexId(1)), Some(1));
+    }
+
+    #[test]
+    fn stretch_computation() {
+        let g = generators::path(4);
+        let m = DistanceMatrix::new(&g);
+        assert_eq!(m.stretch(VertexId(0), VertexId(3), 6), Some(2.0));
+        assert_eq!(m.stretch(VertexId(2), VertexId(2), 0), Some(1.0));
+    }
+}

@@ -1,0 +1,53 @@
+//! Graph substrate for the compact-routing reproduction of Roditty & Tov,
+//! *New routing techniques and their applications* (PODC 2015).
+//!
+//! This crate provides everything the routing schemes need from a graph:
+//!
+//! * [`Graph`] — an undirected graph in CSR form with **fixed port numbers**
+//!   (the position of a neighbour in a vertex's adjacency list is its port, as
+//!   required by the fixed-port routing model of Fraigniaud and Gavoille).
+//! * [`shortest_path`] — Dijkstra/BFS with the paper's lexicographic
+//!   tie-breaking, ball (k-nearest) searches, multi-source searches and
+//!   shortest-path trees.
+//! * [`generators`] — seeded synthetic graph families used by the experiment
+//!   harness (the paper is evaluated on "any undirected graph"; generators
+//!   stand in for the absence of a dataset).
+//! * [`apsp`] — exact all-pairs shortest paths used as ground truth by tests
+//!   and by the stretch measurements.
+//!
+//! Distances are exact unsigned integers ([`Weight`]); "weighted" graphs in
+//! the paper's sense are graphs with arbitrary positive integer weights, and
+//! unweighted graphs use weight 1 on every edge. Integer weights keep every
+//! distance comparison exact, which matters for the ball/cluster membership
+//! predicates the paper's correctness arguments rely on.
+//!
+//! # Example
+//!
+//! ```
+//! use routing_graph::{GraphBuilder, VertexId};
+//! use routing_graph::shortest_path::dijkstra;
+//!
+//! # fn main() -> Result<(), routing_graph::GraphError> {
+//! let mut b = GraphBuilder::new(4);
+//! b.add_edge(0, 1, 1)?;
+//! b.add_edge(1, 2, 2)?;
+//! b.add_edge(2, 3, 1)?;
+//! b.add_edge(0, 3, 10)?;
+//! let g = b.build();
+//! let sp = dijkstra(&g, VertexId(0));
+//! assert_eq!(sp.dist(VertexId(3)), Some(4));
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apsp;
+mod error;
+pub mod generators;
+mod graph;
+pub mod shortest_path;
+
+pub use error::GraphError;
+pub use graph::{EdgeRef, Graph, GraphBuilder, Port, VertexId, Weight, INFINITY};

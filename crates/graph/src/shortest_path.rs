@@ -1,0 +1,661 @@
+//! Single-source and multi-source shortest paths with the paper's
+//! lexicographic tie-breaking, ball (k-nearest) searches, and restricted
+//! (cluster) searches.
+//!
+//! All searches order vertices by the pair `(distance, vertex id)`. This is
+//! the tie-breaking rule the paper uses ("breaking ties by lexicographical
+//! order of vertex names") and it is what makes Property 1 — if
+//! `v ∈ B(u, ℓ)` and `w` is on a shortest path between `u` and `v`, then
+//! `v ∈ B(w, ℓ)` — hold exactly rather than just in expectation.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::{Graph, VertexId, Weight, INFINITY};
+
+/// The result of a single-source shortest-path search: a shortest-path tree
+/// rooted at the source and spanning every reachable vertex.
+#[derive(Debug, Clone)]
+pub struct ShortestPathTree {
+    source: VertexId,
+    dist: Vec<Weight>,
+    parent: Vec<Option<VertexId>>,
+    first_hop: Vec<Option<VertexId>>,
+}
+
+impl ShortestPathTree {
+    /// The source vertex of the search.
+    pub fn source(&self) -> VertexId {
+        self.source
+    }
+
+    /// Distance from the source to `v`, or `None` if `v` is unreachable.
+    pub fn dist(&self, v: VertexId) -> Option<Weight> {
+        let d = self.dist[v.index()];
+        (d != INFINITY).then_some(d)
+    }
+
+    /// Parent of `v` in the shortest-path tree (`None` for the source and for
+    /// unreachable vertices).
+    pub fn parent(&self, v: VertexId) -> Option<VertexId> {
+        self.parent[v.index()]
+    }
+
+    /// The first vertex after the source on the tree path to `v`.
+    ///
+    /// Returns `None` for the source itself and for unreachable vertices.
+    pub fn first_hop(&self, v: VertexId) -> Option<VertexId> {
+        self.first_hop[v.index()]
+    }
+
+    /// The full tree path from the source to `v` (inclusive of both ends), or
+    /// `None` if `v` is unreachable.
+    pub fn path_to(&self, v: VertexId) -> Option<Vec<VertexId>> {
+        if self.dist[v.index()] == INFINITY {
+            return None;
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Children lists of the shortest-path tree, indexed by vertex.
+    ///
+    /// Unreachable vertices have empty child lists and are nobody's child.
+    pub fn children(&self) -> Vec<Vec<VertexId>> {
+        let mut children = vec![Vec::new(); self.dist.len()];
+        for v in 0..self.dist.len() as u32 {
+            if let Some(p) = self.parent[v as usize] {
+                children[p.index()].push(VertexId(v));
+            }
+        }
+        children
+    }
+
+    /// Iterator over every reachable vertex together with its distance.
+    pub fn reachable(&self) -> impl Iterator<Item = (VertexId, Weight)> + '_ {
+        self.dist
+            .iter()
+            .enumerate()
+            .filter(|&(_, &d)| d != INFINITY)
+            .map(|(v, &d)| (VertexId(v as u32), d))
+    }
+}
+
+/// Runs Dijkstra's algorithm from `source` with `(distance, id)` tie-breaking.
+pub fn dijkstra(g: &Graph, source: VertexId) -> ShortestPathTree {
+    let n = g.n();
+    let mut dist = vec![INFINITY; n];
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut first_hop: Vec<Option<VertexId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
+
+    dist[source.index()] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if settled[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        for e in g.edges(u) {
+            let nd = d + e.weight;
+            if nd < dist[e.to.index()] {
+                dist[e.to.index()] = nd;
+                parent[e.to.index()] = Some(u);
+                first_hop[e.to.index()] = if u == source { Some(e.to) } else { first_hop[u.index()] };
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    ShortestPathTree { source, dist, parent, first_hop }
+}
+
+/// Runs breadth-first search from `source` on an unweighted graph.
+///
+/// Equivalent to [`dijkstra`] when every edge has weight 1, but cheaper.
+///
+/// # Panics
+///
+/// Panics if the graph has a non-unit edge weight.
+pub fn bfs(g: &Graph, source: VertexId) -> ShortestPathTree {
+    assert!(g.is_unweighted(), "bfs requires an unweighted graph; use dijkstra");
+    let n = g.n();
+    let mut dist = vec![INFINITY; n];
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut first_hop: Vec<Option<VertexId>> = vec![None; n];
+    let mut queue = std::collections::VecDeque::new();
+    dist[source.index()] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        for e in g.edges(u) {
+            if dist[e.to.index()] == INFINITY {
+                dist[e.to.index()] = dist[u.index()] + 1;
+                parent[e.to.index()] = Some(u);
+                first_hop[e.to.index()] =
+                    if u == source { Some(e.to) } else { first_hop[u.index()] };
+                queue.push_back(e.to);
+            }
+        }
+    }
+    ShortestPathTree { source, dist, parent, first_hop }
+}
+
+/// The vicinity `B(u, ℓ)` of a vertex: its `ℓ` closest vertices under the
+/// `(distance, id)` order, together with the routing information Lemma 2
+/// needs (the first hop of a shortest path to each member).
+#[derive(Debug, Clone)]
+pub struct Ball {
+    center: VertexId,
+    /// Members sorted by `(distance, id)`, including the center at index 0.
+    members: Vec<(VertexId, Weight)>,
+    /// First hop from the center towards each member (`None` for the center).
+    first_hops: Vec<Option<VertexId>>,
+    /// Member -> index in `members`.
+    index: HashMap<VertexId, usize>,
+    /// The radius `r_u(ℓ)` (see `Ball::radius`).
+    radius: Weight,
+}
+
+impl Ball {
+    /// The center vertex `u`.
+    pub fn center(&self) -> VertexId {
+        self.center
+    }
+
+    /// Number of members (including the center).
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if the ball contains only its center or is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.len() <= 1
+    }
+
+    /// Returns true if `v` is in the ball.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.index.contains_key(&v)
+    }
+
+    /// Distance from the center to member `v`, or `None` if `v` is not in the
+    /// ball.
+    pub fn dist_to(&self, v: VertexId) -> Option<Weight> {
+        self.index.get(&v).map(|&i| self.members[i].1)
+    }
+
+    /// The first hop of a shortest path from the center to member `v`.
+    ///
+    /// Returns `None` if `v` is not a member or is the center itself.
+    pub fn first_hop(&self, v: VertexId) -> Option<VertexId> {
+        self.index.get(&v).and_then(|&i| self.first_hops[i])
+    }
+
+    /// Members in `(distance, id)` order, including the center first.
+    pub fn members(&self) -> &[(VertexId, Weight)] {
+        &self.members
+    }
+
+    /// The rank of `v` in the `(distance, id)` order (0 for the center), or
+    /// `None` if `v` is not a member.
+    ///
+    /// Because balls are nested, `rank(v) < k` is exactly the membership test
+    /// `v ∈ B(u, k)` for any `k` no larger than this ball's size — the
+    /// multilevel schemes (Theorems 13 and 15) use this to answer membership
+    /// for every level out of one stored ball.
+    pub fn rank(&self, v: VertexId) -> Option<usize> {
+        self.index.get(&v).copied()
+    }
+
+    /// The largest distance value `r` such that every vertex at distance
+    /// exactly `r` from the center is inside the ball (the paper's `r_u(ℓ)`).
+    ///
+    /// For unweighted graphs this satisfies `d(u, w) <= radius + 1` for every
+    /// member `w`.
+    pub fn radius(&self) -> Weight {
+        self.radius
+    }
+
+    /// The largest distance of any member.
+    pub fn max_dist(&self) -> Weight {
+        self.members.last().map(|&(_, d)| d).unwrap_or(0)
+    }
+}
+
+/// Computes the ball `B(u, ℓ)`: the `ℓ` closest vertices of `u` (including
+/// `u` itself), breaking ties by vertex id.
+///
+/// If the connected component of `u` has fewer than `ℓ` vertices the whole
+/// component is returned.
+pub fn ball(g: &Graph, u: VertexId, ell: usize) -> Ball {
+    let ell = ell.max(1);
+    let n = g.n();
+    let mut dist: HashMap<VertexId, Weight> = HashMap::new();
+    let mut first_hop: HashMap<VertexId, Option<VertexId>> = HashMap::new();
+    let mut settled: HashMap<VertexId, bool> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
+
+    dist.insert(u, 0);
+    first_hop.insert(u, None);
+    heap.push(Reverse((0, u)));
+
+    let mut members: Vec<(VertexId, Weight)> = Vec::with_capacity(ell.min(n));
+    let mut first_hops: Vec<Option<VertexId>> = Vec::with_capacity(ell.min(n));
+    // Vertices settled after the ball is full, at the same distance as the
+    // last member; used to decide whether the ball is "complete" at max_dist.
+    let mut overflow_at_max = false;
+    let mut max_dist: Weight = 0;
+
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if *settled.get(&v).unwrap_or(&false) {
+            continue;
+        }
+        settled.insert(v, true);
+        if members.len() < ell {
+            members.push((v, d));
+            first_hops.push(first_hop[&v]);
+            max_dist = d;
+        } else if d == max_dist {
+            overflow_at_max = true;
+            break;
+        } else {
+            break;
+        }
+        for e in g.edges(v) {
+            let nd = d + e.weight;
+            let better = match dist.get(&e.to) {
+                Some(&old) => nd < old,
+                None => true,
+            };
+            if better {
+                dist.insert(e.to, nd);
+                let fh = if v == u { Some(e.to) } else { first_hop[&v] };
+                first_hop.insert(e.to, fh);
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+
+    let radius = if overflow_at_max {
+        // Not every vertex at distance `max_dist` made it into the ball; the
+        // radius is the previous distinct distance value present in the ball.
+        members
+            .iter()
+            .rev()
+            .map(|&(_, d)| d)
+            .find(|&d| d < max_dist)
+            .unwrap_or(0)
+    } else {
+        max_dist
+    };
+
+    let index = members
+        .iter()
+        .enumerate()
+        .map(|(i, &(v, _))| (v, i))
+        .collect();
+    Ball { center: u, members, first_hops, index, radius }
+}
+
+/// Result of a multi-source shortest-path search from a set `A`.
+///
+/// For every vertex `v` it records `d(v, A)` and the nearest source
+/// `p_A(v)` (ties broken by source id, matching the paper's convention).
+#[derive(Debug, Clone)]
+pub struct MultiSourceShortestPaths {
+    dist: Vec<Weight>,
+    nearest: Vec<Option<VertexId>>,
+}
+
+impl MultiSourceShortestPaths {
+    /// Distance from `v` to the nearest source, or `None` if unreachable or
+    /// the source set was empty.
+    pub fn dist(&self, v: VertexId) -> Option<Weight> {
+        let d = self.dist[v.index()];
+        (d != INFINITY).then_some(d)
+    }
+
+    /// The nearest source `p_A(v)`, or `None` if unreachable.
+    pub fn nearest(&self, v: VertexId) -> Option<VertexId> {
+        self.nearest[v.index()]
+    }
+
+    /// Raw distance slice (`INFINITY` for unreachable vertices).
+    pub fn dist_slice(&self) -> &[Weight] {
+        &self.dist
+    }
+}
+
+/// Computes `d(v, A)` and `p_A(v)` for every vertex `v` with a single
+/// multi-source Dijkstra from the set `A` (`sources`).
+///
+/// Ties between sources at equal distance are broken by source id.
+pub fn multi_source_dijkstra(g: &Graph, sources: &[VertexId]) -> MultiSourceShortestPaths {
+    let n = g.n();
+    let mut dist = vec![INFINITY; n];
+    let mut nearest: Vec<Option<VertexId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    // Order by (distance, source id, vertex id) so the nearest-source
+    // labelling is the lexicographically smallest one.
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexId, VertexId)>> = BinaryHeap::new();
+
+    let mut sorted_sources: Vec<VertexId> = sources.to_vec();
+    sorted_sources.sort_unstable();
+    sorted_sources.dedup();
+    for &s in &sorted_sources {
+        dist[s.index()] = 0;
+        nearest[s.index()] = Some(s);
+        heap.push(Reverse((0, s, s)));
+    }
+    while let Some(Reverse((d, src, u))) = heap.pop() {
+        if settled[u.index()] {
+            continue;
+        }
+        // A stale entry may carry an outdated source; skip it.
+        if nearest[u.index()] != Some(src) || dist[u.index()] != d {
+            continue;
+        }
+        settled[u.index()] = true;
+        for e in g.edges(u) {
+            let nd = d + e.weight;
+            let better = nd < dist[e.to.index()]
+                || (nd == dist[e.to.index()] && Some(src) < nearest[e.to.index()]);
+            if !settled[e.to.index()] && better {
+                dist[e.to.index()] = nd;
+                nearest[e.to.index()] = Some(src);
+                heap.push(Reverse((nd, src, e.to)));
+            }
+        }
+    }
+    MultiSourceShortestPaths { dist, nearest }
+}
+
+/// A restricted shortest-path search used to compute Thorup–Zwick clusters.
+///
+/// `cluster_dijkstra(g, w, bound)` explores from `w` but only keeps a vertex
+/// `v` if `d(w, v) < bound[v]`. With `bound[v] = d(v, A)` the kept set is the
+/// cluster `C_A(w)` and the parent pointers form the shortest-path tree
+/// `T_{C_A(w)}` the paper routes on. The subpath property of clusters
+/// guarantees the restricted distances equal the true distances for every
+/// kept vertex.
+#[derive(Debug, Clone)]
+pub struct RestrictedTree {
+    root: VertexId,
+    /// Cluster members (including the root) with their distances, in
+    /// `(distance, id)` settle order.
+    members: Vec<(VertexId, Weight)>,
+    /// Parent of each member inside the cluster tree (`None` for the root).
+    parent: HashMap<VertexId, Option<VertexId>>,
+}
+
+impl RestrictedTree {
+    /// The root `w`.
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// Cluster members (including the root) with distances.
+    pub fn members(&self) -> &[(VertexId, Weight)] {
+        &self.members
+    }
+
+    /// Number of members, including the root.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True when the cluster contains only the root.
+    pub fn is_empty(&self) -> bool {
+        self.members.len() <= 1
+    }
+
+    /// Returns true if `v` is in the cluster.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.parent.contains_key(&v)
+    }
+
+    /// Distance from the root to member `v`.
+    pub fn dist(&self, v: VertexId) -> Option<Weight> {
+        self.members.iter().find(|&&(x, _)| x == v).map(|&(_, d)| d)
+    }
+
+    /// Parent of `v` in the cluster tree (`None` for the root), if `v` is a
+    /// member.
+    pub fn parent(&self, v: VertexId) -> Option<Option<VertexId>> {
+        self.parent.get(&v).copied()
+    }
+
+    /// The tree as (child, parent) pairs, root excluded.
+    pub fn tree_edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.parent
+            .iter()
+            .filter_map(|(&v, &p)| p.map(|p| (v, p)))
+    }
+}
+
+/// Computes the restricted shortest-path tree from `w` keeping only vertices
+/// `v` with `d(w, v) < bound[v.index()]`. See [`RestrictedTree`].
+pub fn cluster_dijkstra(g: &Graph, w: VertexId, bound: &[Weight]) -> RestrictedTree {
+    assert_eq!(bound.len(), g.n(), "bound slice must have one entry per vertex");
+    let mut dist: HashMap<VertexId, Weight> = HashMap::new();
+    let mut parent: HashMap<VertexId, Option<VertexId>> = HashMap::new();
+    let mut settled: HashMap<VertexId, bool> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
+    let mut members = Vec::new();
+
+    dist.insert(w, 0);
+    parent.insert(w, None);
+    heap.push(Reverse((0, w)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if *settled.get(&u).unwrap_or(&false) {
+            continue;
+        }
+        settled.insert(u, true);
+        members.push((u, d));
+        for e in g.edges(u) {
+            let nd = d + e.weight;
+            // Keep the vertex only if it belongs to the cluster: the root is
+            // always kept (d(w,w)=0 < bound may not hold, but w is the root).
+            if e.to != w && nd >= bound[e.to.index()] {
+                continue;
+            }
+            let better = match dist.get(&e.to) {
+                Some(&old) => nd < old,
+                None => true,
+            };
+            if better {
+                dist.insert(e.to, nd);
+                parent.insert(e.to, Some(u));
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    // Remove entries for vertices that were relaxed but never settled (their
+    // tentative distance might not be final).
+    parent.retain(|v, _| *settled.get(v).unwrap_or(&false));
+    RestrictedTree { root: w, members, parent }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path_graph(n: usize) -> Graph {
+        let mut b = GraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_unit_edge(i, i + 1).unwrap();
+        }
+        b.build()
+    }
+
+    fn weighted_diamond() -> Graph {
+        // 0 -1- 1 -1- 3, 0 -3- 2 -1- 3
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1).unwrap();
+        b.add_edge(1, 3, 1).unwrap();
+        b.add_edge(0, 2, 3).unwrap();
+        b.add_edge(2, 3, 1).unwrap();
+        b.build()
+    }
+
+    #[test]
+    fn dijkstra_distances_and_paths() {
+        let g = weighted_diamond();
+        let sp = dijkstra(&g, VertexId(0));
+        assert_eq!(sp.dist(VertexId(3)), Some(2));
+        assert_eq!(sp.dist(VertexId(2)), Some(3));
+        assert_eq!(sp.path_to(VertexId(3)), Some(vec![VertexId(0), VertexId(1), VertexId(3)]));
+        assert_eq!(sp.first_hop(VertexId(3)), Some(VertexId(1)));
+        assert_eq!(sp.first_hop(VertexId(0)), None);
+        assert_eq!(sp.source(), VertexId(0));
+    }
+
+    #[test]
+    fn dijkstra_unreachable() {
+        let mut b = GraphBuilder::new(3);
+        b.add_unit_edge(0, 1).unwrap();
+        let g = b.build();
+        let sp = dijkstra(&g, VertexId(0));
+        assert_eq!(sp.dist(VertexId(2)), None);
+        assert_eq!(sp.path_to(VertexId(2)), None);
+        assert_eq!(sp.reachable().count(), 2);
+    }
+
+    #[test]
+    fn bfs_matches_dijkstra_on_unweighted() {
+        let g = path_graph(6);
+        let a = bfs(&g, VertexId(0));
+        let b = dijkstra(&g, VertexId(0));
+        for v in g.vertices() {
+            assert_eq!(a.dist(v), b.dist(v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unweighted")]
+    fn bfs_panics_on_weighted() {
+        let g = weighted_diamond();
+        let _ = bfs(&g, VertexId(0));
+    }
+
+    #[test]
+    fn children_lists_cover_tree() {
+        let g = path_graph(5);
+        let sp = dijkstra(&g, VertexId(2));
+        let children = sp.children();
+        assert_eq!(children[2], vec![VertexId(1), VertexId(3)]);
+        assert_eq!(children[1], vec![VertexId(0)]);
+        assert!(children[0].is_empty());
+    }
+
+    #[test]
+    fn ball_contains_closest_with_tie_break() {
+        // Star: center 0, leaves 1..=4, all at distance 1. Ball of size 3 at 0
+        // must contain 0 plus the two smallest-id leaves.
+        let mut b = GraphBuilder::new(5);
+        for i in 1..5 {
+            b.add_unit_edge(0, i).unwrap();
+        }
+        let g = b.build();
+        let ball = ball(&g, VertexId(0), 3);
+        assert_eq!(ball.len(), 3);
+        assert!(ball.contains(VertexId(0)));
+        assert!(ball.contains(VertexId(1)));
+        assert!(ball.contains(VertexId(2)));
+        assert!(!ball.contains(VertexId(3)));
+        // Not every vertex at distance 1 is inside, so the radius falls back
+        // to the previous distance value (0).
+        assert_eq!(ball.radius(), 0);
+        assert_eq!(ball.max_dist(), 1);
+    }
+
+    #[test]
+    fn ball_radius_complete_level() {
+        let g = path_graph(6);
+        // From vertex 0 the 4 closest are 0,1,2,3 and every vertex at
+        // distance <= 3 is included, so the radius is 3.
+        let ball = ball(&g, VertexId(0), 4);
+        assert_eq!(ball.len(), 4);
+        assert_eq!(ball.radius(), 3);
+        assert_eq!(ball.dist_to(VertexId(3)), Some(3));
+        assert_eq!(ball.first_hop(VertexId(3)), Some(VertexId(1)));
+        assert_eq!(ball.first_hop(VertexId(0)), None);
+    }
+
+    #[test]
+    fn ball_larger_than_component_returns_component() {
+        let g = path_graph(4);
+        let ball = ball(&g, VertexId(1), 100);
+        assert_eq!(ball.len(), 4);
+        assert_eq!(ball.radius(), ball.max_dist());
+    }
+
+    #[test]
+    fn ball_center_is_first_member() {
+        let g = weighted_diamond();
+        let ball = ball(&g, VertexId(2), 3);
+        assert_eq!(ball.members()[0], (VertexId(2), 0));
+        assert_eq!(ball.center(), VertexId(2));
+        assert!(!ball.is_empty());
+    }
+
+    #[test]
+    fn multi_source_nearest_and_tie_break() {
+        let g = path_graph(7);
+        let ms = multi_source_dijkstra(&g, &[VertexId(0), VertexId(6)]);
+        assert_eq!(ms.dist(VertexId(2)), Some(2));
+        assert_eq!(ms.nearest(VertexId(2)), Some(VertexId(0)));
+        assert_eq!(ms.nearest(VertexId(5)), Some(VertexId(6)));
+        // Vertex 3 is equidistant (3) from both sources; the smaller id wins.
+        assert_eq!(ms.dist(VertexId(3)), Some(3));
+        assert_eq!(ms.nearest(VertexId(3)), Some(VertexId(0)));
+    }
+
+    #[test]
+    fn multi_source_empty_sources() {
+        let g = path_graph(3);
+        let ms = multi_source_dijkstra(&g, &[]);
+        assert_eq!(ms.dist(VertexId(0)), None);
+        assert_eq!(ms.nearest(VertexId(0)), None);
+    }
+
+    #[test]
+    fn cluster_dijkstra_respects_bound() {
+        let g = path_graph(6);
+        // bound[v] = distance from v to the set {5}. Cluster of 0 is every v
+        // with d(0,v) < d(v,5), i.e. vertices 0,1,2.
+        let ms = multi_source_dijkstra(&g, &[VertexId(5)]);
+        let bound: Vec<Weight> = g.vertices().map(|v| ms.dist(v).unwrap()).collect();
+        let tree = cluster_dijkstra(&g, VertexId(0), &bound);
+        let members: Vec<VertexId> = tree.members().iter().map(|&(v, _)| v).collect();
+        assert_eq!(members, vec![VertexId(0), VertexId(1), VertexId(2)]);
+        assert_eq!(tree.parent(VertexId(2)), Some(Some(VertexId(1))));
+        assert_eq!(tree.parent(VertexId(0)), Some(None));
+        assert!(tree.contains(VertexId(1)));
+        assert!(!tree.contains(VertexId(4)));
+        assert_eq!(tree.dist(VertexId(2)), Some(2));
+        assert_eq!(tree.tree_edges().count(), 2);
+        assert_eq!(tree.root(), VertexId(0));
+        assert!(!tree.is_empty());
+    }
+
+    #[test]
+    fn cluster_distances_equal_true_distances() {
+        // Subpath property: restricted distances must equal true distances
+        // for every cluster member.
+        let g = weighted_diamond();
+        let ms = multi_source_dijkstra(&g, &[VertexId(2)]);
+        let bound: Vec<Weight> = g.vertices().map(|v| ms.dist(v).unwrap()).collect();
+        let tree = cluster_dijkstra(&g, VertexId(0), &bound);
+        let sp = dijkstra(&g, VertexId(0));
+        for &(v, d) in tree.members() {
+            assert_eq!(Some(d), sp.dist(v));
+        }
+    }
+}

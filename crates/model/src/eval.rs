@@ -1,0 +1,256 @@
+//! End-to-end evaluation of a routing scheme on a graph: route many pairs,
+//! compare against exact distances, and aggregate stretch/space/label/header
+//! statistics. Used both by integration tests and by the experiment harness.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use routing_graph::apsp::DistanceMatrix;
+use routing_graph::{Graph, VertexId};
+
+use crate::scheme::RoutingScheme;
+use crate::simulator::simulate;
+use crate::stats::{SpaceStats, StretchStats};
+use crate::RouteError;
+
+/// Which source/destination pairs to route during an evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PairSelection {
+    /// Every ordered pair `(u, v)` with `u != v`. Quadratic; use for small
+    /// graphs and correctness tests.
+    AllPairs,
+    /// A fixed number of ordered pairs sampled uniformly at random.
+    Sampled(usize),
+}
+
+/// Summary of one evaluation run, with everything the paper's Table 1
+/// compares: stretch, per-vertex table size, label size and header size.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct EvalReport {
+    /// Scheme name.
+    pub scheme: String,
+    /// Number of vertices of the evaluated graph.
+    pub n: usize,
+    /// Number of edges of the evaluated graph.
+    pub m: usize,
+    /// Number of routed pairs.
+    pub pairs: usize,
+    /// Stretch statistics over the routed pairs.
+    pub stretch: StretchStats,
+    /// Per-vertex routing-table sizes in `O(log n)`-bit words.
+    pub table: SpaceStats,
+    /// Largest label size in words.
+    pub max_label_words: usize,
+    /// Mean label size in words.
+    pub mean_label_words: f64,
+    /// Largest in-flight header observed, in words.
+    pub max_header_words: usize,
+}
+
+impl EvalReport {
+    /// One-line human-readable summary (used by the harness binaries).
+    pub fn summary_line(&self) -> String {
+        format!(
+            "{:<28} n={:<5} pairs={:<6} stretch max={:.3} mean={:.3} | table max={} mean={:.1} | label max={} | header max={}",
+            self.scheme,
+            self.n,
+            self.pairs,
+            self.stretch.max_multiplicative().unwrap_or(1.0),
+            self.stretch.mean_multiplicative().unwrap_or(1.0),
+            self.table.max(),
+            self.table.mean(),
+            self.max_label_words,
+            self.max_header_words,
+        )
+    }
+}
+
+/// Routes the selected pairs through `scheme` and aggregates statistics.
+///
+/// `exact` must be the distance matrix of `g`; passing it in (rather than
+/// recomputing) lets callers share one matrix across many schemes.
+///
+/// # Errors
+///
+/// Propagates the first routing failure — a correct scheme never fails, so
+/// tests treat any error as a bug.
+pub fn evaluate<S: RoutingScheme, R: Rng>(
+    g: &Graph,
+    scheme: &S,
+    exact: &DistanceMatrix,
+    selection: PairSelection,
+    rng: &mut R,
+) -> Result<EvalReport, RouteError> {
+    let pairs = select_pairs(g, selection, rng);
+    let mut stretch = StretchStats::new();
+    let mut max_header_words = 0usize;
+    for &(u, v) in &pairs {
+        let out = simulate(g, scheme, u, v)?;
+        let d = exact
+            .dist(u, v)
+            .ok_or_else(|| RouteError::BadLabel { what: format!("{u} and {v} are disconnected") })?;
+        stretch.record(out.weight, d);
+        max_header_words = max_header_words.max(out.max_header_words);
+    }
+    let table = SpaceStats::from_per_vertex(g.vertices().map(|v| scheme.table_words(v)).collect());
+    let label_words: Vec<usize> = g.vertices().map(|v| scheme.label_words(v)).collect();
+    let max_label_words = label_words.iter().copied().max().unwrap_or(0);
+    let mean_label_words = if label_words.is_empty() {
+        0.0
+    } else {
+        label_words.iter().sum::<usize>() as f64 / label_words.len() as f64
+    };
+    Ok(EvalReport {
+        scheme: scheme.name(),
+        n: g.n(),
+        m: g.m(),
+        pairs: pairs.len(),
+        stretch,
+        table,
+        max_label_words,
+        mean_label_words,
+        max_header_words,
+    })
+}
+
+/// Picks the ordered pairs to route.
+pub fn select_pairs<R: Rng>(
+    g: &Graph,
+    selection: PairSelection,
+    rng: &mut R,
+) -> Vec<(VertexId, VertexId)> {
+    let n = g.n();
+    match selection {
+        PairSelection::AllPairs => {
+            let mut pairs = Vec::with_capacity(n * n.saturating_sub(1));
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    if u != v {
+                        pairs.push((u, v));
+                    }
+                }
+            }
+            pairs
+        }
+        PairSelection::Sampled(k) => {
+            if n < 2 {
+                return Vec::new();
+            }
+            let ids: Vec<VertexId> = g.vertices().collect();
+            let mut pairs = Vec::with_capacity(k);
+            while pairs.len() < k {
+                let u = *ids.choose(rng).expect("graph has vertices");
+                let v = *ids.choose(rng).expect("graph has vertices");
+                if u != v {
+                    pairs.push((u, v));
+                }
+            }
+            pairs
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{Decision, HeaderSize};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use routing_graph::generators;
+    use routing_graph::shortest_path::dijkstra;
+    use routing_graph::Port;
+
+    struct FullTable {
+        n: usize,
+        next: Vec<Vec<Option<Port>>>,
+    }
+    impl FullTable {
+        fn new(g: &Graph) -> Self {
+            let n = g.n();
+            let mut next = vec![vec![None; n]; n];
+            for v in g.vertices() {
+                let sp = dijkstra(g, v);
+                for u in g.vertices() {
+                    if u != v {
+                        if let Some(p) = sp.parent(u) {
+                            next[u.index()][v.index()] = g.port_to(u, p);
+                        }
+                    }
+                }
+            }
+            FullTable { n, next }
+        }
+    }
+    #[derive(Clone)]
+    struct H;
+    impl HeaderSize for H {
+        fn words(&self) -> usize {
+            2
+        }
+    }
+    impl RoutingScheme for FullTable {
+        type Label = VertexId;
+        type Header = H;
+        fn name(&self) -> String {
+            "full".into()
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn label_of(&self, v: VertexId) -> VertexId {
+            v
+        }
+        fn init_header(&self, _: VertexId, _: &VertexId) -> Result<H, RouteError> {
+            Ok(H)
+        }
+        fn decide(&self, at: VertexId, _: &mut H, dest: &VertexId) -> Result<Decision, RouteError> {
+            if at == *dest {
+                Ok(Decision::Deliver)
+            } else {
+                Ok(Decision::Forward(self.next[at.index()][dest.index()].expect("connected")))
+            }
+        }
+        fn table_words(&self, _: VertexId) -> usize {
+            self.n
+        }
+        fn label_words(&self, _: VertexId) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn evaluate_full_table_has_stretch_one() {
+        let g = generators::grid(4, 4);
+        let exact = DistanceMatrix::new(&g);
+        let scheme = FullTable::new(&g);
+        let mut rng = StdRng::seed_from_u64(1);
+        let report = evaluate(&g, &scheme, &exact, PairSelection::AllPairs, &mut rng).unwrap();
+        assert_eq!(report.pairs, 16 * 15);
+        assert_eq!(report.stretch.max_multiplicative(), Some(1.0));
+        assert_eq!(report.table.max(), 16);
+        assert_eq!(report.max_label_words, 1);
+        assert_eq!(report.max_header_words, 2);
+        assert!(report.summary_line().contains("full"));
+        assert_eq!(report.n, 16);
+        assert_eq!(report.m, g.m());
+        assert!(report.mean_label_words > 0.9);
+    }
+
+    #[test]
+    fn sampled_pairs_have_requested_count() {
+        let g = generators::cycle(20);
+        let mut rng = StdRng::seed_from_u64(7);
+        let pairs = select_pairs(&g, PairSelection::Sampled(37), &mut rng);
+        assert_eq!(pairs.len(), 37);
+        assert!(pairs.iter().all(|&(u, v)| u != v));
+    }
+
+    #[test]
+    fn sampling_from_tiny_graph_is_empty() {
+        let g = generators::path(1);
+        let mut rng = StdRng::seed_from_u64(7);
+        let pairs = select_pairs(&g, PairSelection::Sampled(5), &mut rng);
+        assert!(pairs.is_empty());
+    }
+}

@@ -1,0 +1,29 @@
+//! The labeled fixed-port routing model used by every scheme in this
+//! workspace, together with a message simulator and the space/stretch
+//! accounting the experiment harness reports.
+//!
+//! A *labeled compact routing scheme* (Peleg–Upfal; Thorup–Zwick) consists of
+//! a centralized preprocessing phase that assigns every vertex a **routing
+//! table** and a short **label**, and a distributed routing phase: when a
+//! message for destination `v` (whose label is attached to the message)
+//! arrives at a vertex `u`, the scheme must decide — looking only at `u`'s
+//! routing table, the message header and `v`'s label — whether to deliver the
+//! message or which **port** (local link index) to forward it on.
+//!
+//! [`RoutingScheme`] captures exactly that interface; [`simulate`] walks a
+//! message through a graph enforcing the port semantics and accounting for
+//! the traversed weight, and [`stats`] aggregates stretch and table-size
+//! measurements across many routed pairs.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod error;
+pub mod eval;
+pub mod scheme;
+pub mod simulator;
+pub mod stats;
+
+pub use error::RouteError;
+pub use scheme::{Decision, HeaderSize, RoutingScheme};
+pub use simulator::{simulate, simulate_with_ttl, RouteOutcome};

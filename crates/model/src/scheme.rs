@@ -1,0 +1,104 @@
+//! The [`RoutingScheme`] trait: the contract every compact routing scheme in
+//! this workspace implements.
+
+use routing_graph::{Port, VertexId};
+
+use crate::RouteError;
+
+/// A local routing decision made at a vertex.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// The message has reached its destination.
+    Deliver,
+    /// Forward the message on the given local port.
+    Forward(Port),
+}
+
+/// Types that can report their size in `O(log n)`-bit machine words.
+///
+/// Headers implement this so the simulator can track the largest header a
+/// scheme attaches to a message — one of the quantities the paper bounds
+/// (e.g. `O((1/ε) log n)`-bit headers in Lemma 7).
+pub trait HeaderSize {
+    /// Size of the value in `O(log n)`-bit words.
+    fn words(&self) -> usize;
+}
+
+impl HeaderSize for () {
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+/// A labeled compact routing scheme in the fixed-port model.
+///
+/// Implementations hold *all* per-vertex routing tables (they are built by a
+/// centralized preprocessing phase, as in the paper), but the routing-phase
+/// methods must only consult the table of the vertex passed to them, the
+/// message header, and the destination label — never global state. The
+/// simulator and the tests treat violations of this discipline as bugs.
+///
+/// Space accounting is in `O(log n)`-bit words: every stored vertex id,
+/// distance, port or tree-routing word counts as one unit, so that the
+/// `Õ(·)` table-size comparisons in the paper's Table 1 can be made on equal
+/// footing between schemes.
+pub trait RoutingScheme {
+    /// The label attached to a destination (computed in preprocessing).
+    type Label: Clone;
+    /// The mutable header a message carries.
+    type Header: Clone + HeaderSize;
+
+    /// Human-readable scheme name used in harness output.
+    fn name(&self) -> String;
+
+    /// Number of vertices of the preprocessed graph.
+    fn n(&self) -> usize;
+
+    /// The label of vertex `v`.
+    fn label_of(&self, v: VertexId) -> Self::Label;
+
+    /// Creates the header for a message injected at `source` towards the
+    /// destination described by `dest`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the label is malformed or the scheme is missing
+    /// preprocessing data for this pair (which would indicate a bug).
+    fn init_header(&self, source: VertexId, dest: &Self::Label) -> Result<Self::Header, RouteError>;
+
+    /// The local routing decision at vertex `at`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the local table lacks the information the scheme
+    /// expects (a preprocessing bug) or the label is malformed.
+    fn decide(
+        &self,
+        at: VertexId,
+        header: &mut Self::Header,
+        dest: &Self::Label,
+    ) -> Result<Decision, RouteError>;
+
+    /// Size of the routing table stored at `v`, in `O(log n)`-bit words.
+    fn table_words(&self, v: VertexId) -> usize;
+
+    /// Size of the label of `v`, in `O(log n)`-bit words.
+    fn label_words(&self, v: VertexId) -> usize;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_header_has_zero_words() {
+        assert_eq!(().words(), 0);
+    }
+
+    #[test]
+    fn decision_equality() {
+        assert_eq!(Decision::Deliver, Decision::Deliver);
+        assert_ne!(Decision::Deliver, Decision::Forward(Port(0)));
+        assert_eq!(Decision::Forward(Port(2)), Decision::Forward(Port(2)));
+    }
+}

@@ -1,0 +1,320 @@
+//! Hop-by-hop message simulator enforcing the fixed-port semantics.
+
+use routing_graph::{Graph, VertexId, Weight};
+
+use crate::scheme::{Decision, HeaderSize, RoutingScheme};
+use crate::RouteError;
+
+/// The result of routing one message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RouteOutcome {
+    /// The full vertex path the message traversed, from source to the vertex
+    /// where it was delivered (inclusive).
+    pub path: Vec<VertexId>,
+    /// Total weight of the traversed path.
+    pub weight: Weight,
+    /// Number of edges traversed.
+    pub hops: usize,
+    /// The largest header size (in `O(log n)`-bit words) observed while the
+    /// message was in flight.
+    pub max_header_words: usize,
+}
+
+impl RouteOutcome {
+    /// The source vertex.
+    pub fn source(&self) -> VertexId {
+        self.path[0]
+    }
+
+    /// The vertex where the message was delivered.
+    pub fn destination(&self) -> VertexId {
+        *self.path.last().expect("path is never empty")
+    }
+}
+
+/// Routes a message from `source` to `dest` using `scheme`, with a default
+/// hop budget of `4 * n + 16`.
+///
+/// # Errors
+///
+/// Propagates scheme errors, and fails if the scheme forwards on a
+/// non-existent port, loops past the hop budget, or delivers at the wrong
+/// vertex.
+pub fn simulate<S: RoutingScheme>(
+    g: &Graph,
+    scheme: &S,
+    source: VertexId,
+    dest: VertexId,
+) -> Result<RouteOutcome, RouteError> {
+    simulate_with_ttl(g, scheme, source, dest, 4 * g.n() + 16)
+}
+
+/// Routes a message with an explicit hop budget. See [`simulate`].
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_with_ttl<S: RoutingScheme>(
+    g: &Graph,
+    scheme: &S,
+    source: VertexId,
+    dest: VertexId,
+    max_hops: usize,
+) -> Result<RouteOutcome, RouteError> {
+    let label = scheme.label_of(dest);
+    let mut header = scheme.init_header(source, &label)?;
+    let mut at = source;
+    let mut path = vec![source];
+    let mut weight: Weight = 0;
+    let mut max_header_words = header.words();
+
+    loop {
+        match scheme.decide(at, &mut header, &label)? {
+            Decision::Deliver => {
+                if at != dest {
+                    return Err(RouteError::DeliveredAtWrongVertex { at, destination: dest });
+                }
+                let hops = path.len() - 1;
+                return Ok(RouteOutcome { path, weight, hops, max_header_words });
+            }
+            Decision::Forward(port) => {
+                if path.len() > max_hops {
+                    return Err(RouteError::HopBudgetExceeded { budget: max_hops });
+                }
+                if port.index() >= g.degree(at) {
+                    return Err(RouteError::InvalidPort { at, port: port.0 });
+                }
+                let edge = g.neighbor_at(at, port);
+                weight += edge.weight;
+                at = edge.to;
+                path.push(at);
+                max_header_words = max_header_words.max(header.words());
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::HeaderSize;
+    use routing_graph::generators;
+    use routing_graph::shortest_path::dijkstra;
+    use routing_graph::Port;
+
+    /// A toy scheme with full routing tables (next-hop ports to every
+    /// destination), used to exercise the simulator itself.
+    struct FullTableScheme {
+        name: String,
+        n: usize,
+        /// next_port[u][v] = port at u towards v (None when u == v).
+        next_port: Vec<Vec<Option<Port>>>,
+    }
+
+    impl FullTableScheme {
+        fn new(g: &Graph) -> Self {
+            let n = g.n();
+            let mut next_port = vec![vec![None; n]; n];
+            for v in g.vertices() {
+                let sp = dijkstra(g, v);
+                for u in g.vertices() {
+                    if u == v {
+                        continue;
+                    }
+                    // First hop from u towards v: use the tree rooted at v,
+                    // where u's parent is the next vertex on a shortest path.
+                    if let Some(p) = sp.parent(u) {
+                        next_port[u.index()][v.index()] = g.port_to(u, p);
+                    }
+                }
+            }
+            FullTableScheme { name: "full-table".into(), n, next_port }
+        }
+    }
+
+    #[derive(Clone)]
+    struct IdHeader;
+    impl HeaderSize for IdHeader {
+        fn words(&self) -> usize {
+            1
+        }
+    }
+
+    impl RoutingScheme for FullTableScheme {
+        type Label = VertexId;
+        type Header = IdHeader;
+
+        fn name(&self) -> String {
+            self.name.clone()
+        }
+        fn n(&self) -> usize {
+            self.n
+        }
+        fn label_of(&self, v: VertexId) -> VertexId {
+            v
+        }
+        fn init_header(&self, _source: VertexId, _dest: &VertexId) -> Result<IdHeader, RouteError> {
+            Ok(IdHeader)
+        }
+        fn decide(
+            &self,
+            at: VertexId,
+            _header: &mut IdHeader,
+            dest: &VertexId,
+        ) -> Result<Decision, RouteError> {
+            if at == *dest {
+                return Ok(Decision::Deliver);
+            }
+            match self.next_port[at.index()][dest.index()] {
+                Some(p) => Ok(Decision::Forward(p)),
+                None => Err(RouteError::MissingInformation { at, what: "no next hop".into() }),
+            }
+        }
+        fn table_words(&self, _v: VertexId) -> usize {
+            self.n
+        }
+        fn label_words(&self, _v: VertexId) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn simulator_follows_shortest_paths_of_full_tables() {
+        let g = generators::grid(4, 4);
+        let s = FullTableScheme::new(&g);
+        let sp = dijkstra(&g, VertexId(0));
+        for v in g.vertices() {
+            let out = simulate(&g, &s, VertexId(0), v).unwrap();
+            assert_eq!(out.destination(), v);
+            assert_eq!(out.source(), VertexId(0));
+            assert_eq!(Some(out.weight), sp.dist(v));
+            assert_eq!(out.hops, out.path.len() - 1);
+            assert_eq!(out.max_header_words, 1);
+        }
+    }
+
+    #[test]
+    fn self_route_has_zero_weight() {
+        let g = generators::path(3);
+        let s = FullTableScheme::new(&g);
+        let out = simulate(&g, &s, VertexId(1), VertexId(1)).unwrap();
+        assert_eq!(out.weight, 0);
+        assert_eq!(out.hops, 0);
+        assert_eq!(out.path, vec![VertexId(1)]);
+    }
+
+    /// A scheme that always forwards on port 0 — loops forever on a cycle.
+    struct LoopScheme;
+    #[derive(Clone)]
+    struct NoHeader;
+    impl HeaderSize for NoHeader {
+        fn words(&self) -> usize {
+            0
+        }
+    }
+    impl RoutingScheme for LoopScheme {
+        type Label = VertexId;
+        type Header = NoHeader;
+        fn name(&self) -> String {
+            "loop".into()
+        }
+        fn n(&self) -> usize {
+            3
+        }
+        fn label_of(&self, v: VertexId) -> VertexId {
+            v
+        }
+        fn init_header(&self, _: VertexId, _: &VertexId) -> Result<NoHeader, RouteError> {
+            Ok(NoHeader)
+        }
+        fn decide(&self, _: VertexId, _: &mut NoHeader, _: &VertexId) -> Result<Decision, RouteError> {
+            Ok(Decision::Forward(Port(0)))
+        }
+        fn table_words(&self, _: VertexId) -> usize {
+            0
+        }
+        fn label_words(&self, _: VertexId) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn loops_hit_the_hop_budget() {
+        let g = generators::cycle(3);
+        let err = simulate_with_ttl(&g, &LoopScheme, VertexId(0), VertexId(2), 10).unwrap_err();
+        assert_eq!(err, RouteError::HopBudgetExceeded { budget: 10 });
+    }
+
+    /// A scheme that delivers immediately regardless of destination.
+    struct EagerScheme;
+    impl RoutingScheme for EagerScheme {
+        type Label = VertexId;
+        type Header = NoHeader;
+        fn name(&self) -> String {
+            "eager".into()
+        }
+        fn n(&self) -> usize {
+            3
+        }
+        fn label_of(&self, v: VertexId) -> VertexId {
+            v
+        }
+        fn init_header(&self, _: VertexId, _: &VertexId) -> Result<NoHeader, RouteError> {
+            Ok(NoHeader)
+        }
+        fn decide(&self, _: VertexId, _: &mut NoHeader, _: &VertexId) -> Result<Decision, RouteError> {
+            Ok(Decision::Deliver)
+        }
+        fn table_words(&self, _: VertexId) -> usize {
+            0
+        }
+        fn label_words(&self, _: VertexId) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn wrong_delivery_is_detected() {
+        let g = generators::path(3);
+        let err = simulate(&g, &EagerScheme, VertexId(0), VertexId(2)).unwrap_err();
+        assert_eq!(
+            err,
+            RouteError::DeliveredAtWrongVertex { at: VertexId(0), destination: VertexId(2) }
+        );
+    }
+
+    /// A scheme that forwards on a port that does not exist.
+    struct BadPortScheme;
+    impl RoutingScheme for BadPortScheme {
+        type Label = VertexId;
+        type Header = NoHeader;
+        fn name(&self) -> String {
+            "bad-port".into()
+        }
+        fn n(&self) -> usize {
+            3
+        }
+        fn label_of(&self, v: VertexId) -> VertexId {
+            v
+        }
+        fn init_header(&self, _: VertexId, _: &VertexId) -> Result<NoHeader, RouteError> {
+            Ok(NoHeader)
+        }
+        fn decide(&self, _: VertexId, _: &mut NoHeader, _: &VertexId) -> Result<Decision, RouteError> {
+            Ok(Decision::Forward(Port(99)))
+        }
+        fn table_words(&self, _: VertexId) -> usize {
+            0
+        }
+        fn label_words(&self, _: VertexId) -> usize {
+            1
+        }
+    }
+
+    #[test]
+    fn invalid_ports_are_detected() {
+        let g = generators::path(3);
+        let err = simulate(&g, &BadPortScheme, VertexId(0), VertexId(2)).unwrap_err();
+        assert_eq!(err, RouteError::InvalidPort { at: VertexId(0), port: 99 });
+    }
+}

@@ -1,0 +1,582 @@
+//! Tree routing in the fixed-port model (Lemma 3 of the paper, following
+//! Thorup–Zwick and Fraigniaud–Gavoille).
+//!
+//! Given a rooted tree `T` that is a subgraph of the host graph, the scheme
+//! assigns every tree vertex a constant number of `O(log n)`-bit words of
+//! *local* routing information and every tree vertex an `O(log^2 n / log log n)`-bit
+//! *label*, such that a message can be routed from any tree vertex to any
+//! other along the unique tree path using only the local information of the
+//! current vertex and the destination's label.
+//!
+//! The construction is the classic heavy-path one:
+//!
+//! * a DFS assigns every vertex an interval `[tin, tout)` covering its
+//!   subtree;
+//! * each internal vertex remembers the port and interval of its **heavy**
+//!   child (the child with the largest subtree) plus the port to its parent;
+//! * the label of `v` lists, for every **light** edge `(p, x)` on the path
+//!   from the root to `v`, the pair `(tin(p), port at p towards x)`. Because
+//!   subtree sizes at least halve across light edges there are `O(log n)`
+//!   such entries.
+//!
+//! Routing at `u` towards `v`: deliver if `tin(v) = tin(u)`; go to the parent
+//! if `v` is outside `u`'s interval; go to the heavy child if `v` is inside
+//! its interval; otherwise the label contains the light port to take at `u`.
+//!
+//! The per-vertex structures ([`TreeNodeInfo`], [`TreeLabel`]) are exposed so
+//! that the compact routing schemes of the paper can embed copies of them in
+//! their own routing tables and labels; [`TreeScheme`] additionally
+//! implements [`RoutingScheme`] so the tree router can be tested standalone.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use routing_graph::shortest_path::{RestrictedTree, ShortestPathTree};
+use routing_graph::{Graph, Port, VertexId};
+use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
+
+/// Errors produced while building a tree router.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TreeBuildError {
+    /// A parent edge is not present in the host graph.
+    MissingEdge {
+        /// The child endpoint.
+        child: VertexId,
+        /// The declared parent endpoint.
+        parent: VertexId,
+    },
+    /// The parent relation does not form a single tree rooted at `root`
+    /// (a cycle, a second component, or a vertex not reaching the root).
+    NotATree {
+        /// Description of the violation.
+        what: String,
+    },
+}
+
+impl fmt::Display for TreeBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeBuildError::MissingEdge { child, parent } => {
+                write!(f, "tree edge ({child}, {parent}) is not an edge of the host graph")
+            }
+            TreeBuildError::NotATree { what } => write!(f, "parent relation is not a tree: {what}"),
+        }
+    }
+}
+
+impl Error for TreeBuildError {}
+
+/// The constant-size local routing information a tree vertex stores.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeNodeInfo {
+    /// DFS entry time of this vertex.
+    pub tin: u32,
+    /// DFS exit time: the subtree of this vertex is `[tin, tout)`.
+    pub tout: u32,
+    /// Port towards the parent (`None` at the root).
+    pub parent_port: Option<Port>,
+    /// `(tin, tout, port)` of the heavy child, if any.
+    pub heavy: Option<(u32, u32, Port)>,
+}
+
+impl TreeNodeInfo {
+    /// Size in `O(log n)`-bit words.
+    pub fn words(&self) -> usize {
+        2 + usize::from(self.parent_port.is_some()) + if self.heavy.is_some() { 3 } else { 0 }
+    }
+
+    /// True if `tin` falls inside this vertex's subtree interval.
+    #[inline]
+    pub fn subtree_contains(&self, tin: u32) -> bool {
+        self.tin <= tin && tin < self.tout
+    }
+}
+
+/// The label of a destination vertex in the tree.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeLabel {
+    /// DFS entry time of the destination.
+    pub tin: u32,
+    /// For every light edge `(p, x)` on the root-to-destination path, the
+    /// pair `(tin(p), port at p towards x)`, ordered from the root down.
+    pub light_ports: Vec<(u32, Port)>,
+}
+
+impl TreeLabel {
+    /// Size in `O(log n)`-bit words.
+    pub fn words(&self) -> usize {
+        1 + 2 * self.light_ports.len()
+    }
+}
+
+/// Makes one local routing decision on a tree, given only the current
+/// vertex's [`TreeNodeInfo`] and the destination's [`TreeLabel`].
+///
+/// This free function is what the compact routing schemes call with node
+/// information they copied into their own tables.
+///
+/// # Errors
+///
+/// Returns an error if the inputs are inconsistent (the destination appears
+/// to be below the current vertex via a light edge that the label does not
+/// describe) — this indicates corrupted preprocessing, not a routable
+/// situation.
+pub fn tree_route_step(node: &TreeNodeInfo, dest: &TreeLabel) -> Result<Decision, RouteError> {
+    if dest.tin == node.tin {
+        return Ok(Decision::Deliver);
+    }
+    if !node.subtree_contains(dest.tin) {
+        let port = node.parent_port.ok_or_else(|| RouteError::MissingInformation {
+            at: VertexId(u32::MAX),
+            what: "destination outside the tree rooted here (no parent port)".into(),
+        })?;
+        return Ok(Decision::Forward(port));
+    }
+    if let Some((h_tin, h_tout, h_port)) = node.heavy {
+        if h_tin <= dest.tin && dest.tin < h_tout {
+            return Ok(Decision::Forward(h_port));
+        }
+    }
+    // The destination is in a light subtree below this vertex; the label
+    // records which port to take here.
+    dest.light_ports
+        .iter()
+        .find(|&&(p_tin, _)| p_tin == node.tin)
+        .map(|&(_, port)| Decision::Forward(port))
+        .ok_or_else(|| RouteError::MissingInformation {
+            at: VertexId(u32::MAX),
+            what: "destination label lacks the light port for this vertex".into(),
+        })
+}
+
+/// A complete tree routing scheme for one rooted tree.
+#[derive(Debug, Clone)]
+pub struct TreeScheme {
+    root: VertexId,
+    n_graph: usize,
+    nodes: HashMap<VertexId, TreeNodeInfo>,
+    labels: HashMap<VertexId, TreeLabel>,
+}
+
+impl TreeScheme {
+    /// Builds the tree router from an explicit parent relation.
+    ///
+    /// `parents` maps every non-root tree vertex to its parent; the root must
+    /// not appear as a key. Every parent edge must exist in `g` (ports are
+    /// taken from `g`).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if a parent edge is missing from the graph or the
+    /// relation is not a tree rooted at `root`.
+    pub fn from_parents(
+        g: &Graph,
+        root: VertexId,
+        parents: &HashMap<VertexId, VertexId>,
+    ) -> Result<Self, TreeBuildError> {
+        if parents.contains_key(&root) {
+            return Err(TreeBuildError::NotATree { what: format!("root {root} has a parent") });
+        }
+        // children lists
+        let mut children: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
+        children.entry(root).or_default();
+        for (&c, &p) in parents {
+            if g.port_to(p, c).is_none() {
+                return Err(TreeBuildError::MissingEdge { child: c, parent: p });
+            }
+            children.entry(p).or_default();
+            children.entry(c).or_default();
+            children.get_mut(&p).expect("just inserted").push(c);
+        }
+        for kids in children.values_mut() {
+            kids.sort_unstable();
+        }
+        let tree_size = parents.len() + 1;
+        if children.len() != tree_size {
+            return Err(TreeBuildError::NotATree {
+                what: format!("{} vertices reachable but {} declared", children.len(), tree_size),
+            });
+        }
+
+        // Iterative DFS computing tin/tout and subtree sizes.
+        let mut tin: HashMap<VertexId, u32> = HashMap::new();
+        let mut tout: HashMap<VertexId, u32> = HashMap::new();
+        let mut size: HashMap<VertexId, u32> = HashMap::new();
+        let mut clock = 0u32;
+        let mut stack: Vec<(VertexId, usize)> = vec![(root, 0)];
+        tin.insert(root, clock);
+        clock += 1;
+        loop {
+            let (v, idx) = match stack.last() {
+                Some(&top) => top,
+                None => break,
+            };
+            let kids = &children[&v];
+            if idx < kids.len() {
+                stack.last_mut().expect("stack is non-empty").1 += 1;
+                let c = kids[idx];
+                if tin.contains_key(&c) {
+                    return Err(TreeBuildError::NotATree {
+                        what: format!("vertex {c} visited twice (cycle)"),
+                    });
+                }
+                tin.insert(c, clock);
+                clock += 1;
+                stack.push((c, 0));
+            } else {
+                tout.insert(v, clock);
+                let s = 1 + kids.iter().map(|c| size.get(c).copied().unwrap_or(0)).sum::<u32>();
+                size.insert(v, s);
+                stack.pop();
+            }
+        }
+        if tin.len() != tree_size {
+            return Err(TreeBuildError::NotATree {
+                what: "some declared vertices are not reachable from the root".into(),
+            });
+        }
+
+        // Node info: parent port + heavy child.
+        let mut nodes: HashMap<VertexId, TreeNodeInfo> = HashMap::new();
+        for (&v, kids) in &children {
+            let parent_port = parents
+                .get(&v)
+                .map(|&p| g.port_to(v, p).expect("parent edge checked above"));
+            let heavy = kids
+                .iter()
+                .max_by_key(|&&c| (size[&c], std::cmp::Reverse(c)))
+                .map(|&c| {
+                    let port = g.port_to(v, c).expect("child edge checked above");
+                    (tin[&c], tout[&c], port)
+                });
+            nodes.insert(v, TreeNodeInfo { tin: tin[&v], tout: tout[&v], parent_port, heavy });
+        }
+
+        // Labels: walk from each vertex up to the root collecting light edges.
+        let mut labels: HashMap<VertexId, TreeLabel> = HashMap::new();
+        for &v in children.keys() {
+            let mut light_rev: Vec<(u32, Port)> = Vec::new();
+            let mut cur = v;
+            while let Some(&p) = parents.get(&cur) {
+                let heavy_child_tin = nodes[&p].heavy.map(|(h_tin, _, _)| h_tin);
+                if heavy_child_tin != Some(tin[&cur]) {
+                    let port = g.port_to(p, cur).expect("parent edge checked above");
+                    light_rev.push((tin[&p], port));
+                }
+                cur = p;
+            }
+            light_rev.reverse();
+            labels.insert(v, TreeLabel { tin: tin[&v], light_ports: light_rev });
+        }
+
+        Ok(TreeScheme { root, n_graph: g.n(), nodes, labels })
+    }
+
+    /// Builds the router from a single-source shortest-path tree, spanning
+    /// every vertex reachable from its source.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TreeBuildError`] (cannot occur for a well-formed SPT of
+    /// `g`).
+    pub fn from_spt(g: &Graph, spt: &ShortestPathTree) -> Result<Self, TreeBuildError> {
+        let mut parents = HashMap::new();
+        for (v, _) in spt.reachable() {
+            if let Some(p) = spt.parent(v) {
+                parents.insert(v, p);
+            }
+        }
+        Self::from_parents(g, spt.source(), &parents)
+    }
+
+    /// Builds the router for a cluster tree produced by
+    /// [`routing_graph::shortest_path::cluster_dijkstra`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TreeBuildError`] (cannot occur for a well-formed cluster
+    /// tree of `g`).
+    pub fn from_restricted(g: &Graph, tree: &RestrictedTree) -> Result<Self, TreeBuildError> {
+        let mut parents = HashMap::new();
+        for &(v, _) in tree.members() {
+            if let Some(Some(p)) = tree.parent(v) {
+                parents.insert(v, p);
+            }
+        }
+        Self::from_parents(g, tree.root(), &parents)
+    }
+
+    /// The root of the tree.
+    pub fn root(&self) -> VertexId {
+        self.root
+    }
+
+    /// Number of vertices in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True if the tree contains only its root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Returns true if `v` is a tree vertex.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.nodes.contains_key(&v)
+    }
+
+    /// Iterator over the tree's vertices (arbitrary order).
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        self.nodes.keys().copied()
+    }
+
+    /// The local routing information of tree vertex `v`.
+    pub fn node_info(&self, v: VertexId) -> Option<&TreeNodeInfo> {
+        self.nodes.get(&v)
+    }
+
+    /// The tree label of tree vertex `v`.
+    pub fn label(&self, v: VertexId) -> Option<&TreeLabel> {
+        self.labels.get(&v)
+    }
+}
+
+/// Header used when routing purely on a tree (nothing needs to be carried).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TreeHeader;
+
+impl HeaderSize for TreeHeader {
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+impl RoutingScheme for TreeScheme {
+    type Label = TreeLabel;
+    type Header = TreeHeader;
+
+    fn name(&self) -> String {
+        format!("tree-routing(root={})", self.root)
+    }
+
+    fn n(&self) -> usize {
+        self.n_graph
+    }
+
+    fn label_of(&self, v: VertexId) -> TreeLabel {
+        self.labels
+            .get(&v)
+            .cloned()
+            .unwrap_or(TreeLabel { tin: u32::MAX, light_ports: Vec::new() })
+    }
+
+    fn init_header(&self, source: VertexId, dest: &TreeLabel) -> Result<TreeHeader, RouteError> {
+        if dest.tin == u32::MAX {
+            return Err(RouteError::BadLabel { what: "destination is not in the tree".into() });
+        }
+        if !self.nodes.contains_key(&source) {
+            return Err(RouteError::MissingInformation {
+                at: source,
+                what: "source is not in the tree".into(),
+            });
+        }
+        Ok(TreeHeader)
+    }
+
+    fn decide(
+        &self,
+        at: VertexId,
+        _header: &mut TreeHeader,
+        dest: &TreeLabel,
+    ) -> Result<Decision, RouteError> {
+        let node = self.nodes.get(&at).ok_or_else(|| RouteError::MissingInformation {
+            at,
+            what: "vertex is not in the tree".into(),
+        })?;
+        tree_route_step(node, dest).map_err(|e| match e {
+            RouteError::MissingInformation { what, .. } => RouteError::MissingInformation { at, what },
+            other => other,
+        })
+    }
+
+    fn table_words(&self, v: VertexId) -> usize {
+        self.nodes.get(&v).map(TreeNodeInfo::words).unwrap_or(0)
+    }
+
+    fn label_words(&self, v: VertexId) -> usize {
+        self.labels.get(&v).map(TreeLabel::words).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routing_graph::generators;
+    use routing_graph::shortest_path::{cluster_dijkstra, dijkstra, multi_source_dijkstra};
+    use routing_model::simulate;
+
+    fn spt_scheme(g: &Graph, root: VertexId) -> TreeScheme {
+        TreeScheme::from_spt(g, &dijkstra(g, root)).expect("valid spt")
+    }
+
+    #[test]
+    fn routes_on_path_graph() {
+        let g = generators::path(10);
+        let t = spt_scheme(&g, VertexId(0));
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let out = simulate(&g, &t, u, v).unwrap();
+                assert_eq!(out.destination(), v);
+                assert_eq!(out.hops, (u.0 as i64 - v.0 as i64).unsigned_abs() as usize);
+            }
+        }
+    }
+
+    #[test]
+    fn routes_on_star_center_and_leaves() {
+        let g = generators::star(8);
+        let t = spt_scheme(&g, VertexId(0));
+        let out = simulate(&g, &t, VertexId(3), VertexId(5)).unwrap();
+        assert_eq!(out.path, vec![VertexId(3), VertexId(0), VertexId(5)]);
+    }
+
+    #[test]
+    fn routes_follow_tree_paths_on_random_graphs() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        let g = generators::erdos_renyi(
+            80,
+            0.06,
+            generators::WeightModel::Uniform { lo: 1, hi: 8 },
+            &mut rng,
+        );
+        let root = VertexId(0);
+        let spt = dijkstra(&g, root);
+        let t = TreeScheme::from_spt(&g, &spt).unwrap();
+        // Routing to the root must follow the shortest path in the graph
+        // (tree paths to the root are graph shortest paths).
+        for v in g.vertices() {
+            let out = simulate(&g, &t, v, root).unwrap();
+            assert_eq!(Some(out.weight), spt.dist(v), "weight from {v} to root");
+        }
+        // Tree-path weight between arbitrary vertices is bounded by the sum
+        // of their distances to the root.
+        for (u, v) in [(VertexId(3), VertexId(61)), (VertexId(17), VertexId(42))] {
+            let out = simulate(&g, &t, u, v).unwrap();
+            assert!(out.weight <= spt.dist(u).unwrap() + spt.dist(v).unwrap());
+        }
+    }
+
+    #[test]
+    fn label_sizes_are_logarithmic() {
+        let g = generators::binary_tree(1023);
+        let t = spt_scheme(&g, VertexId(0));
+        let max_label = g.vertices().map(|v| t.label_words(v)).max().unwrap();
+        // Light edges at least halve subtree sizes, so at most log2(n)
+        // entries of 2 words each, plus the tin word.
+        assert!(max_label <= 1 + 2 * 10, "label too large: {max_label}");
+        let max_table = g.vertices().map(|v| t.table_words(v)).max().unwrap();
+        assert!(max_table <= 6);
+    }
+
+    #[test]
+    fn caterpillar_high_degree_nodes() {
+        let g = generators::caterpillar(10, 8);
+        let t = spt_scheme(&g, VertexId(0));
+        for v in g.vertices() {
+            let out = simulate(&g, &t, VertexId(55), v).unwrap();
+            assert_eq!(out.destination(), v);
+        }
+    }
+
+    #[test]
+    fn cluster_tree_routing() {
+        let g = generators::grid(6, 6);
+        let sources = [VertexId(35)];
+        let ms = multi_source_dijkstra(&g, &sources);
+        let bound: Vec<_> = g.vertices().map(|v| ms.dist(v).unwrap()).collect();
+        let cluster = cluster_dijkstra(&g, VertexId(0), &bound);
+        let t = TreeScheme::from_restricted(&g, &cluster).unwrap();
+        assert!(t.len() > 1);
+        for &(v, d) in cluster.members() {
+            let out = simulate(&g, &t, VertexId(0), v).unwrap();
+            assert_eq!(out.weight, d, "cluster tree routes on shortest paths from the root");
+        }
+    }
+
+    #[test]
+    fn non_members_are_rejected() {
+        let g = generators::path(6);
+        // Tree containing only vertices 0..=2.
+        let mut parents = HashMap::new();
+        parents.insert(VertexId(1), VertexId(0));
+        parents.insert(VertexId(2), VertexId(1));
+        let t = TreeScheme::from_parents(&g, VertexId(0), &parents).unwrap();
+        assert!(t.contains(VertexId(2)));
+        assert!(!t.contains(VertexId(5)));
+        assert_eq!(t.len(), 3);
+        assert!(!t.is_empty());
+        let err = simulate(&g, &t, VertexId(0), VertexId(5)).unwrap_err();
+        assert!(matches!(err, RouteError::BadLabel { .. }));
+        let err = simulate(&g, &t, VertexId(5), VertexId(0)).unwrap_err();
+        assert!(matches!(err, RouteError::MissingInformation { .. }));
+    }
+
+    #[test]
+    fn build_rejects_missing_edges_and_cycles() {
+        let g = generators::path(4);
+        let mut parents = HashMap::new();
+        parents.insert(VertexId(3), VertexId(0)); // not an edge
+        let err = TreeScheme::from_parents(&g, VertexId(0), &parents).unwrap_err();
+        assert_eq!(err, TreeBuildError::MissingEdge { child: VertexId(3), parent: VertexId(0) });
+
+        let mut parents = HashMap::new();
+        parents.insert(VertexId(0), VertexId(1)); // root has a parent
+        let err = TreeScheme::from_parents(&g, VertexId(0), &parents).unwrap_err();
+        assert!(matches!(err, TreeBuildError::NotATree { .. }));
+        assert!(err.to_string().contains("not a tree"));
+
+        // Disconnected declaration: vertex 3's parent chain never reaches root 0.
+        let mut parents = HashMap::new();
+        parents.insert(VertexId(1), VertexId(0));
+        parents.insert(VertexId(3), VertexId(2));
+        let err = TreeScheme::from_parents(&g, VertexId(0), &parents).unwrap_err();
+        assert!(matches!(err, TreeBuildError::NotATree { .. }));
+    }
+
+    #[test]
+    fn node_info_and_label_accessors() {
+        let g = generators::path(4);
+        let t = spt_scheme(&g, VertexId(0));
+        let info = t.node_info(VertexId(1)).unwrap();
+        assert!(info.words() >= 3);
+        assert!(info.subtree_contains(t.label(VertexId(3)).unwrap().tin));
+        assert_eq!(t.root(), VertexId(0));
+        assert_eq!(t.vertices().count(), 4);
+        assert!(t.label(VertexId(2)).unwrap().words() >= 1);
+        assert_eq!(t.name(), "tree-routing(root=v0)");
+        assert_eq!(RoutingScheme::n(&t), 4);
+    }
+
+    #[test]
+    fn free_function_step_matches_scheme_decide() {
+        let g = generators::binary_tree(15);
+        let t = spt_scheme(&g, VertexId(0));
+        let dest = t.label_of(VertexId(13));
+        for v in g.vertices() {
+            let node = t.node_info(v).unwrap();
+            let a = tree_route_step(node, &dest).unwrap();
+            let b = t.decide(v, &mut TreeHeader, &dest).unwrap();
+            assert_eq!(a, b);
+        }
+    }
+}

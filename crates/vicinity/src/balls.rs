@@ -1,0 +1,278 @@
+//! Vertex vicinities `B(u, ℓ)` and the Lemma 2 ball router.
+//!
+//! Every vertex stores, for each of its `ℓ` closest vertices `v`, the first
+//! edge (as a port) of a shortest path towards `v`. Property 1 (if
+//! `v ∈ B(u, ℓ)` and `w` lies on a shortest `u`–`v` path then `v ∈ B(w, ℓ)`)
+//! guarantees that greedily following these first edges delivers the message
+//! on a shortest path — this is Lemma 2 of the paper and the building block
+//! of both new routing techniques.
+
+use std::collections::HashMap;
+
+use routing_graph::shortest_path::{ball, Ball};
+use routing_graph::{Graph, Port, VertexId, Weight};
+use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
+
+/// The balls `B(u, ℓ)` of every vertex, with the routing information of
+/// Lemma 2 (first-hop port towards every member).
+#[derive(Debug, Clone)]
+pub struct BallTable {
+    ell: usize,
+    balls: Vec<Ball>,
+    /// `ports[u][v]` = port at `u` on a shortest path towards ball member `v`.
+    ports: Vec<HashMap<VertexId, Port>>,
+}
+
+impl BallTable {
+    /// Computes `B(u, ℓ)` for every vertex `u` of `g`, together with the
+    /// first-hop ports Lemma 2 stores.
+    pub fn build(g: &Graph, ell: usize) -> Self {
+        let mut balls = Vec::with_capacity(g.n());
+        let mut ports = Vec::with_capacity(g.n());
+        for u in g.vertices() {
+            let b = ball(g, u, ell);
+            let mut port_map = HashMap::with_capacity(b.len());
+            for &(v, _) in b.members() {
+                if v == u {
+                    continue;
+                }
+                let hop = b.first_hop(v).expect("non-center members have a first hop");
+                let port = g.port_to(u, hop).expect("first hop is a neighbour");
+                port_map.insert(v, port);
+            }
+            balls.push(b);
+            ports.push(port_map);
+        }
+        BallTable { ell, balls, ports }
+    }
+
+    /// The ball size parameter `ℓ` the table was built with.
+    pub fn ell(&self) -> usize {
+        self.ell
+    }
+
+    /// The ball of `u`.
+    pub fn ball(&self, u: VertexId) -> &Ball {
+        &self.balls[u.index()]
+    }
+
+    /// Returns true if `v ∈ B(u, ℓ)`.
+    pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
+        self.balls[u.index()].contains(v)
+    }
+
+    /// Distance from `u` to `v` if `v ∈ B(u, ℓ)`.
+    pub fn dist(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        self.balls[u.index()].dist_to(v)
+    }
+
+    /// The first hop of a shortest path from `u` to `v`, if `v ∈ B(u, ℓ)`
+    /// and `v != u`.
+    pub fn first_hop(&self, u: VertexId, v: VertexId) -> Option<VertexId> {
+        self.balls[u.index()].first_hop(v)
+    }
+
+    /// The port at `u` on a shortest path towards ball member `v`.
+    pub fn first_port(&self, u: VertexId, v: VertexId) -> Option<Port> {
+        self.ports[u.index()].get(&v).copied()
+    }
+
+    /// The space Lemma 2 charges to `u`, in `O(log n)`-bit words: one id, one
+    /// distance and one port word per ball member other than `u` itself.
+    pub fn words_at(&self, u: VertexId) -> usize {
+        3 * (self.balls[u.index()].len().saturating_sub(1))
+    }
+
+    /// Number of vertices covered by the table.
+    pub fn len(&self) -> usize {
+        self.balls.len()
+    }
+
+    /// True if the table covers no vertices.
+    pub fn is_empty(&self) -> bool {
+        self.balls.is_empty()
+    }
+}
+
+/// The standalone Lemma 2 routing scheme: routes exactly (stretch 1) between
+/// any `u` and any `v ∈ B(u, ℓ)`, and reports an error for destinations
+/// outside the source's ball.
+///
+/// The full schemes of the paper embed the same tables; this standalone
+/// wrapper exists so Lemma 2 can be tested and benchmarked in isolation.
+#[derive(Debug, Clone)]
+pub struct BallRoutingScheme {
+    table: BallTable,
+    n: usize,
+}
+
+impl BallRoutingScheme {
+    /// Builds the scheme with balls of size `ℓ`.
+    pub fn new(g: &Graph, ell: usize) -> Self {
+        BallRoutingScheme { table: BallTable::build(g, ell), n: g.n() }
+    }
+
+    /// Access to the underlying ball table.
+    pub fn table(&self) -> &BallTable {
+        &self.table
+    }
+}
+
+/// Header for ball routing: nothing needs to be carried.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BallHeader;
+
+impl HeaderSize for BallHeader {
+    fn words(&self) -> usize {
+        0
+    }
+}
+
+impl RoutingScheme for BallRoutingScheme {
+    type Label = VertexId;
+    type Header = BallHeader;
+
+    fn name(&self) -> String {
+        format!("ball-routing(l={})", self.table.ell())
+    }
+
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn label_of(&self, v: VertexId) -> VertexId {
+        v
+    }
+
+    fn init_header(&self, source: VertexId, dest: &VertexId) -> Result<BallHeader, RouteError> {
+        if source != *dest && !self.table.contains(source, *dest) {
+            return Err(RouteError::MissingInformation {
+                at: source,
+                what: format!("{dest} is outside B({source}, {})", self.table.ell()),
+            });
+        }
+        Ok(BallHeader)
+    }
+
+    fn decide(
+        &self,
+        at: VertexId,
+        _header: &mut BallHeader,
+        dest: &VertexId,
+    ) -> Result<Decision, RouteError> {
+        if at == *dest {
+            return Ok(Decision::Deliver);
+        }
+        self.table
+            .first_port(at, *dest)
+            .map(Decision::Forward)
+            .ok_or_else(|| RouteError::MissingInformation {
+                at,
+                what: format!("{dest} is outside B({at}, {}) during forwarding", self.table.ell()),
+            })
+    }
+
+    fn table_words(&self, v: VertexId) -> usize {
+        self.table.words_at(v)
+    }
+
+    fn label_words(&self, _v: VertexId) -> usize {
+        1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use routing_graph::generators;
+    use routing_graph::shortest_path::dijkstra;
+    use routing_model::simulate;
+
+    #[test]
+    fn ball_table_membership_and_first_hops() {
+        let g = generators::grid(5, 5);
+        let t = BallTable::build(&g, 6);
+        assert_eq!(t.len(), 25);
+        assert!(!t.is_empty());
+        assert_eq!(t.ell(), 6);
+        for u in g.vertices() {
+            assert!(t.contains(u, u));
+            assert_eq!(t.ball(u).len(), 6);
+            assert_eq!(t.words_at(u), 15);
+            for &(v, d) in t.ball(u).members() {
+                assert_eq!(t.dist(u, v), Some(d));
+                if v != u {
+                    let hop = t.first_hop(u, v).unwrap();
+                    assert!(g.has_edge(u, hop));
+                    let port = t.first_port(u, v).unwrap();
+                    assert_eq!(g.neighbor_at(u, port).to, hop);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn property_1_holds_with_tie_breaking() {
+        // Property 1: v in B(u, l) and w on a shortest u-v path => v in B(w, l).
+        let mut rng = StdRng::seed_from_u64(11);
+        let g = generators::erdos_renyi(70, 0.08, generators::WeightModel::Unit, &mut rng);
+        let ell = 9;
+        let t = BallTable::build(&g, ell);
+        for u in g.vertices() {
+            let sp = dijkstra(&g, u);
+            for &(v, _) in t.ball(u).members() {
+                if v == u {
+                    continue;
+                }
+                for w in sp.path_to(v).unwrap() {
+                    assert!(
+                        t.contains(w, v),
+                        "property 1 violated: {v} in B({u}) but not in B({w})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lemma_2_routes_on_shortest_paths() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let g = generators::erdos_renyi(
+            60,
+            0.07,
+            generators::WeightModel::Uniform { lo: 1, hi: 5 },
+            &mut rng,
+        );
+        let scheme = BallRoutingScheme::new(&g, 12);
+        for u in g.vertices() {
+            let sp = dijkstra(&g, u);
+            for &(v, d) in scheme.table().ball(u).members().to_vec().iter() {
+                let out = simulate(&g, &scheme, u, v).unwrap();
+                assert_eq!(out.weight, d, "ball routing must be exact");
+                assert_eq!(Some(out.weight), sp.dist(v));
+            }
+        }
+    }
+
+    #[test]
+    fn destinations_outside_the_ball_are_rejected() {
+        let g = generators::path(30);
+        let scheme = BallRoutingScheme::new(&g, 3);
+        let err = simulate(&g, &scheme, VertexId(0), VertexId(29)).unwrap_err();
+        assert!(matches!(err, RouteError::MissingInformation { .. }));
+    }
+
+    #[test]
+    fn scheme_reports_sizes() {
+        let g = generators::cycle(12);
+        let scheme = BallRoutingScheme::new(&g, 5);
+        assert_eq!(RoutingScheme::n(&scheme), 12);
+        assert!(scheme.name().contains("ball-routing"));
+        for v in g.vertices() {
+            assert_eq!(scheme.table_words(v), 3 * 4);
+            assert_eq!(scheme.label_words(v), 1);
+        }
+    }
+}

@@ -1,0 +1,306 @@
+//! Thorup–Zwick centers (Lemma 4), landmarks, clusters and bunches.
+//!
+//! For a landmark set `A ⊆ V`:
+//!
+//! * `p_A(v)` is the landmark nearest to `v` (ties by id) and
+//!   `d(v, A) = d(v, p_A(v))`;
+//! * the **cluster** of `w` is `C_A(w) = { v : d(w, v) < d(v, A) }`;
+//! * the **bunch** of `v` is `B_A(v) = { w : d(w, v) < d(v, A) }`, i.e.
+//!   `w ∈ B_A(v) ⇔ v ∈ C_A(w)`.
+//!
+//! Lemma 4 (Thorup–Zwick): for any `s` one can sample `A` with expected size
+//! `O(s log n)` such that every cluster has at most `4n/s` vertices.
+//! [`sample_centers_bounded`] implements the iterative resampling algorithm
+//! that guarantees the cluster bound deterministically (it keeps adding
+//! centers until every cluster is small enough).
+
+use std::collections::HashMap;
+
+use rand::Rng;
+
+use routing_graph::shortest_path::{cluster_dijkstra, multi_source_dijkstra, RestrictedTree};
+use routing_graph::{Graph, VertexId, Weight, INFINITY};
+
+/// A landmark set `A` together with the nearest-landmark data of every
+/// vertex.
+#[derive(Debug, Clone)]
+pub struct Landmarks {
+    members: Vec<VertexId>,
+    is_member: Vec<bool>,
+    dist: Vec<Weight>,
+    nearest: Vec<Option<VertexId>>,
+}
+
+impl Landmarks {
+    /// Builds the landmark structure for an explicit set `A` (duplicates are
+    /// removed). Runs one multi-source Dijkstra.
+    pub fn new(g: &Graph, set: Vec<VertexId>) -> Self {
+        let mut members = set;
+        members.sort_unstable();
+        members.dedup();
+        let mut is_member = vec![false; g.n()];
+        for &a in &members {
+            is_member[a.index()] = true;
+        }
+        let (dist, nearest) = if members.is_empty() {
+            (vec![INFINITY; g.n()], vec![None; g.n()])
+        } else {
+            let ms = multi_source_dijkstra(g, &members);
+            (
+                g.vertices().map(|v| ms.dist(v).unwrap_or(INFINITY)).collect(),
+                g.vertices().map(|v| ms.nearest(v)).collect(),
+            )
+        };
+        Landmarks { members, is_member, dist, nearest }
+    }
+
+    /// The landmark vertices, sorted by id.
+    pub fn members(&self) -> &[VertexId] {
+        &self.members
+    }
+
+    /// Number of landmarks.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True if `A` is empty.
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Returns true if `v ∈ A`.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.is_member[v.index()]
+    }
+
+    /// `d(v, A)`, or `None` when `A` is empty or unreachable from `v`.
+    pub fn dist_to_set(&self, v: VertexId) -> Option<Weight> {
+        let d = self.dist[v.index()];
+        (d != INFINITY).then_some(d)
+    }
+
+    /// The nearest landmark `p_A(v)`.
+    pub fn nearest(&self, v: VertexId) -> Option<VertexId> {
+        self.nearest[v.index()]
+    }
+
+    /// The per-vertex bound slice `d(·, A)` used by
+    /// [`routing_graph::shortest_path::cluster_dijkstra`] (`INFINITY` where
+    /// `A` is unreachable, so clusters degenerate to full reachability when
+    /// `A` is empty).
+    pub fn bound_slice(&self) -> &[Weight] {
+        &self.dist
+    }
+}
+
+/// Samples a landmark set per Lemma 4: every cluster `C_A(w)` has at most
+/// `(4n/s).ceil()` vertices, and `|A| = O(s log n)` in expectation.
+///
+/// The algorithm is Thorup–Zwick's `center(G, s)`: repeatedly sample each
+/// still-violating vertex with probability `s / |W|`, recompute clusters, and
+/// keep only the vertices whose clusters are still too large. Sampling is
+/// driven by `rng`, but the returned set always satisfies the cluster bound.
+pub fn sample_centers_bounded<R: Rng>(g: &Graph, s: usize, rng: &mut R) -> Landmarks {
+    let n = g.n();
+    let s = s.clamp(1, n.max(1));
+    let limit = (4 * n).div_ceil(s);
+    let mut a: Vec<VertexId> = Vec::new();
+    let mut w: Vec<VertexId> = g.vertices().collect();
+
+    // Guard against pathological loops: |A| can never usefully exceed n.
+    while !w.is_empty() && a.len() < n {
+        let p = (s as f64 / w.len() as f64).min(1.0);
+        let mut newly: Vec<VertexId> = w.iter().copied().filter(|_| rng.gen::<f64>() < p).collect();
+        if newly.is_empty() {
+            // Force progress: add the smallest-id violating vertex.
+            newly.push(w[0]);
+        }
+        a.extend(newly);
+        let landmarks = Landmarks::new(g, a.clone());
+        a = landmarks.members().to_vec();
+        w = g
+            .vertices()
+            .filter(|&v| cluster_dijkstra(g, v, landmarks.bound_slice()).len() > limit)
+            .collect();
+        if a.len() == n {
+            break;
+        }
+    }
+    Landmarks::new(g, a)
+}
+
+/// Computes the cluster tree `T_{C_A(w)}` of every vertex `w`, indexed by
+/// vertex id.
+pub fn all_clusters(g: &Graph, landmarks: &Landmarks) -> Vec<RestrictedTree> {
+    g.vertices().map(|w| cluster_dijkstra(g, w, landmarks.bound_slice())).collect()
+}
+
+/// Inverts clusters into bunches: `bunches(g, clusters)[v]` lists every
+/// `(w, d(w, v))` with `w ∈ B_A(v)`, sorted by distance then id.
+pub fn bunches(g: &Graph, clusters: &[RestrictedTree]) -> Vec<Vec<(VertexId, Weight)>> {
+    let mut out: Vec<Vec<(VertexId, Weight)>> = vec![Vec::new(); g.n()];
+    for tree in clusters {
+        let w = tree.root();
+        for &(v, d) in tree.members() {
+            // The root itself is a member of its restricted tree but
+            // d(w, w) = 0 < d(w, A) only holds when w is not a landmark;
+            // keep the membership test faithful to the definition.
+            out[v.index()].push((w, d));
+        }
+    }
+    for bunch in &mut out {
+        bunch.sort_unstable_by_key(|&(w, d)| (d, w));
+    }
+    out
+}
+
+/// Convenience: the largest cluster size for a landmark set.
+pub fn max_cluster_size(g: &Graph, landmarks: &Landmarks) -> usize {
+    g.vertices()
+        .map(|w| cluster_dijkstra(g, w, landmarks.bound_slice()).len())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Picks `k` vertices uniformly at random (without replacement) — the
+/// "expected size" sampling used when the cluster bound is not needed.
+pub fn sample_uniform<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Vec<VertexId> {
+    use rand::seq::SliceRandom;
+    let mut ids: Vec<VertexId> = g.vertices().collect();
+    ids.shuffle(rng);
+    ids.truncate(k.min(g.n()));
+    ids.sort_unstable();
+    ids
+}
+
+/// Membership map `vertex -> position` for a sorted landmark list; used by
+/// schemes that need to index per-landmark arrays.
+pub fn index_of(members: &[VertexId]) -> HashMap<VertexId, usize> {
+    members.iter().enumerate().map(|(i, &v)| (v, i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use routing_graph::generators;
+    use routing_graph::shortest_path::dijkstra;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    #[test]
+    fn landmarks_nearest_and_distance() {
+        let g = generators::path(10);
+        let lm = Landmarks::new(&g, vec![VertexId(0), VertexId(9)]);
+        assert_eq!(lm.len(), 2);
+        assert!(!lm.is_empty());
+        assert!(lm.contains(VertexId(9)));
+        assert!(!lm.contains(VertexId(5)));
+        assert_eq!(lm.dist_to_set(VertexId(3)), Some(3));
+        assert_eq!(lm.nearest(VertexId(3)), Some(VertexId(0)));
+        assert_eq!(lm.nearest(VertexId(6)), Some(VertexId(9)));
+        // Tie at vertex 4 and 5? d(4,0)=4, d(4,9)=5 -> 0; d(5,0)=5=d(5,9)=4 -> 9 is closer.
+        assert_eq!(lm.nearest(VertexId(4)), Some(VertexId(0)));
+    }
+
+    #[test]
+    fn empty_landmarks_have_infinite_distance() {
+        let g = generators::path(4);
+        let lm = Landmarks::new(&g, vec![]);
+        assert!(lm.is_empty());
+        assert_eq!(lm.dist_to_set(VertexId(2)), None);
+        assert_eq!(lm.nearest(VertexId(2)), None);
+        assert!(lm.bound_slice().iter().all(|&d| d == INFINITY));
+    }
+
+    #[test]
+    fn duplicate_landmarks_are_removed() {
+        let g = generators::path(4);
+        let lm = Landmarks::new(&g, vec![VertexId(1), VertexId(1), VertexId(3)]);
+        assert_eq!(lm.members(), &[VertexId(1), VertexId(3)]);
+    }
+
+    #[test]
+    fn cluster_and_bunch_duality() {
+        let mut r = rng();
+        let g = generators::erdos_renyi(60, 0.08, generators::WeightModel::Unit, &mut r);
+        let lm = Landmarks::new(&g, sample_uniform(&g, 8, &mut r));
+        let clusters = all_clusters(&g, &lm);
+        let bunches = bunches(&g, &clusters);
+        // w in B(v) iff v in C(w), and the recorded distance is d(w, v).
+        for v in g.vertices() {
+            for &(w, d) in &bunches[v.index()] {
+                assert!(clusters[w.index()].contains(v));
+                let sp = dijkstra(&g, w);
+                assert_eq!(sp.dist(v), Some(d));
+            }
+        }
+        // Definition check: v in C(w) iff d(w,v) < d(v,A).
+        for w in g.vertices() {
+            let sp = dijkstra(&g, w);
+            for v in g.vertices() {
+                let in_cluster = clusters[w.index()].contains(v);
+                let expected = match lm.dist_to_set(v) {
+                    Some(da) => sp.dist(v).map(|d| d < da).unwrap_or(false),
+                    None => sp.dist(v).is_some(),
+                };
+                // The root is always a member of its restricted tree even
+                // when the strict inequality fails for it (w == v case).
+                if w == v {
+                    continue;
+                }
+                assert_eq!(in_cluster, expected, "cluster membership of {v} in C({w})");
+            }
+        }
+    }
+
+    #[test]
+    fn landmark_clusters_contain_only_root() {
+        let g = generators::grid(5, 5);
+        let lm = Landmarks::new(&g, vec![VertexId(12)]);
+        let clusters = all_clusters(&g, &lm);
+        // The cluster of the landmark itself contains just the root (no v has
+        // d(w,v) < d(v,A) when w in A).
+        assert_eq!(clusters[12].len(), 1);
+    }
+
+    #[test]
+    fn sample_centers_respects_cluster_bound() {
+        let mut r = rng();
+        let g = generators::erdos_renyi(120, 0.05, generators::WeightModel::Unit, &mut r);
+        let s = 12;
+        let lm = sample_centers_bounded(&g, s, &mut r);
+        let limit = (4 * g.n()).div_ceil(s);
+        assert!(max_cluster_size(&g, &lm) <= limit);
+        assert!(!lm.is_empty());
+        // The set should be far from the whole vertex set.
+        assert!(lm.len() < g.n() / 2, "landmark set unexpectedly large: {}", lm.len());
+    }
+
+    #[test]
+    fn sample_centers_on_tiny_graph() {
+        let g = generators::path(3);
+        let mut r = rng();
+        let lm = sample_centers_bounded(&g, 1, &mut r);
+        let limit = 4 * g.n();
+        assert!(max_cluster_size(&g, &lm) <= limit);
+    }
+
+    #[test]
+    fn uniform_sampling_is_sorted_and_bounded() {
+        let g = generators::cycle(30);
+        let mut r = rng();
+        let s = sample_uniform(&g, 10, &mut r);
+        assert_eq!(s.len(), 10);
+        assert!(s.windows(2).all(|w| w[0] < w[1]));
+        let all = sample_uniform(&g, 100, &mut r);
+        assert_eq!(all.len(), 30);
+        let idx = index_of(&s);
+        assert_eq!(idx.len(), 10);
+        assert_eq!(idx[&s[3]], 3);
+    }
+}

@@ -1,0 +1,28 @@
+//! Vertex vicinities, hitting sets, colorings, and Thorup–Zwick centers —
+//! the combinatorial substrates of Section 2 of Roditty & Tov (PODC 2015).
+//!
+//! * [`balls`] — the vicinity `B(u, ℓ)` of every vertex plus the Lemma 2
+//!   ball router (store the first edge of a shortest path to each of the `ℓ`
+//!   closest vertices; Property 1 makes hop-by-hop forwarding correct).
+//! * [`hitting`] — Lemma 5: a set of size `Õ(n/s)` hitting every given set
+//!   of size ≥ `s`, with both a deterministic greedy and a randomized
+//!   construction.
+//! * [`coloring`] — Lemma 6: a `q`-coloring of `V` such that every given
+//!   (large enough) set contains every color, and color classes stay
+//!   balanced.
+//! * [`centers`] — Lemma 4: a landmark set `A` such that every cluster
+//!   `C_A(w)` has at most `4n/s` vertices, plus bunches, clusters, and the
+//!   nearest-landmark data (`p_A(v)`, `d(v, A)`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod balls;
+pub mod centers;
+pub mod coloring;
+pub mod hitting;
+
+pub use balls::{BallRoutingScheme, BallTable};
+pub use centers::{all_clusters, bunches, sample_centers_bounded, Landmarks};
+pub use coloring::{Coloring, ColoringError};
+pub use hitting::{hitting_set_greedy, hitting_set_random};

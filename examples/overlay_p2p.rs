@@ -1,0 +1,53 @@
+//! Scenario: routing in an unweighted peer-to-peer overlay with scale-free
+//! degree structure (hubs and leaves). Uses the Theorem 10 `(2+ε, 1)` scheme
+//! — the right choice when hop count is what matters and near-optimal paths
+//! are required — and inspects the affine `(2+ε)·d + 1` guarantee directly.
+//!
+//! Run with: `cargo run --release --example overlay_p2p`
+
+use compact_routing::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use routing_core::SchemeTwoPlusEps;
+use routing_graph::apsp::DistanceMatrix;
+use routing_model::stats::StretchStats;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 400;
+    let mut rng = StdRng::seed_from_u64(7);
+    let g = generators::barabasi_albert(n, 4, generators::WeightModel::Unit, &mut rng);
+    println!("overlay: {} peers, {} connections", g.n(), g.m());
+
+    let params = Params::with_epsilon(0.5);
+    let scheme = SchemeTwoPlusEps::build(&g, &params, &mut rng)?;
+    let exact = DistanceMatrix::new(&g);
+
+    let mut stats = StretchStats::new();
+    for _ in 0..5000 {
+        let u = VertexId(rng.gen_range(0..n as u32));
+        let v = VertexId(rng.gen_range(0..n as u32));
+        if u == v {
+            continue;
+        }
+        let out = simulate(&g, &scheme, u, v)?;
+        stats.record(out.weight, exact.dist(u, v).expect("connected"));
+    }
+    println!(
+        "routed {} lookups: mean stretch {:.3}, p95 {:.3}, worst {:.3}",
+        stats.len(),
+        stats.mean_multiplicative().unwrap_or(1.0),
+        stats.percentile_multiplicative(95.0).unwrap_or(1.0),
+        stats.max_multiplicative().unwrap_or(1.0)
+    );
+    println!(
+        "affine guarantee (2+eps)d + 1 holds: {}",
+        stats.check_affine_bound(2.0 + 2.0 * params.epsilon, 1.0)
+    );
+    println!(
+        "fraction of lookups on an exactly shortest path: {:.1}%",
+        100.0 * stats.fraction_exact().unwrap_or(0.0)
+    );
+    let max_table = g.vertices().map(|v| scheme.table_words(v)).max().unwrap_or(0);
+    println!("largest per-peer table: {max_table} words (full tables would be {} words)", n - 1);
+    Ok(())
+}

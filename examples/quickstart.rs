@@ -1,0 +1,51 @@
+//! Quickstart: build the paper's headline `(5+ε)`-stretch scheme on a small
+//! weighted network, route a few messages, and compare against exact
+//! distances.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use compact_routing::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_core::SchemeFivePlusEps;
+use routing_graph::apsp::DistanceMatrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // A weighted sparse random network with 400 routers.
+    let g = generators::erdos_renyi(
+        400,
+        8.0 / 400.0,
+        generators::WeightModel::Uniform { lo: 1, hi: 50 },
+        &mut rng,
+    );
+    println!("network: {} routers, {} links", g.n(), g.m());
+
+    // Preprocess the Theorem 11 scheme (5+eps stretch, ~n^{1/3} tables).
+    let params = Params::with_epsilon(0.25);
+    let scheme = SchemeFivePlusEps::build(&g, &params, &mut rng)?;
+    let max_table = g.vertices().map(|v| scheme.table_words(v)).max().unwrap_or(0);
+    println!(
+        "preprocessed {}: largest routing table = {} words (n = {})",
+        scheme.name(),
+        max_table,
+        g.n()
+    );
+
+    // Route a handful of messages and compare with exact distances.
+    let exact = DistanceMatrix::new(&g);
+    for (u, v) in [(0u32, 399u32), (17, 230), (255, 3), (101, 202)] {
+        let (u, v) = (VertexId(u), VertexId(v));
+        let out = simulate(&g, &scheme, u, v)?;
+        let d = exact.dist(u, v).expect("connected");
+        println!(
+            "{u} -> {v}: routed weight {} over {} hops, exact distance {}, stretch {:.3}",
+            out.weight,
+            out.hops,
+            d,
+            out.weight as f64 / d as f64
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! # compact-routing
+//!
+//! A reproduction of Roditty & Tov, *New routing techniques and their
+//! applications* (PODC 2015), as a Rust workspace. This facade crate
+//! re-exports the public API of the member crates so applications can depend
+//! on a single crate:
+//!
+//! * [`graph`] — graph substrate (CSR graphs with fixed ports, shortest
+//!   paths, synthetic generators, exact APSP).
+//! * [`model`] — the labeled fixed-port routing model: the
+//!   [`model::RoutingScheme`] trait, the message simulator, and
+//!   stretch/space statistics.
+//! * [`tree`] — Lemma 3 tree routing.
+//! * [`vicinity`] — vicinities `B(u, ℓ)`, hitting sets, colorings and
+//!   Thorup–Zwick centers.
+//! * [`core`] — the paper's techniques (Lemmas 7/8) and routing schemes
+//!   (Theorems 10, 11, 13, 15, 16 plus the `(3+ε)` warm-up).
+//! * [`baselines`] — Thorup–Zwick compact routing and distance oracles,
+//!   exact routing, and greedy spanners, used as comparison points.
+//!
+//! # Example
+//!
+//! ```
+//! use compact_routing::prelude::*;
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = generators::erdos_renyi(150, 0.05, generators::WeightModel::Unit, &mut rng);
+//! let scheme = SchemeThreePlusEps::build(&g, &Params::default(), &mut rng)?;
+//! let out = simulate(&g, &scheme, VertexId(0), VertexId(149))?;
+//! println!("routed over {} hops with weight {}", out.hops, out.weight);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use routing_baselines as baselines;
+pub use routing_core as core;
+pub use routing_graph as graph;
+pub use routing_model as model;
+pub use routing_tree as tree;
+pub use routing_vicinity as vicinity;
+
+/// Convenient re-exports of the items most applications need.
+pub mod prelude {
+    pub use routing_core::{BuildError, Params, SchemeThreePlusEps};
+    pub use routing_graph::generators;
+    pub use routing_graph::{Graph, GraphBuilder, VertexId, Weight};
+    pub use routing_model::{simulate, Decision, RouteError, RoutingScheme};
+}

@@ -1,0 +1,100 @@
+//! Property-based integration tests (proptest): invariants of the substrates
+//! and the paper's stretch guarantees on randomly generated graphs.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_core::{Params, SchemeFivePlusEps, SchemeThreePlusEps};
+use routing_graph::apsp::DistanceMatrix;
+use routing_graph::generators::{self, WeightModel};
+use routing_graph::shortest_path::dijkstra;
+use routing_graph::{Graph, VertexId};
+use routing_model::simulate;
+use routing_vicinity::BallTable;
+
+fn arb_graph() -> impl Strategy<Value = (Graph, u64)> {
+    (30usize..70, 1u64..1_000, 1u64..20).prop_map(|(n, seed, max_w)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(
+            n,
+            10.0 / n as f64,
+            WeightModel::Uniform { lo: 1, hi: max_w },
+            &mut rng,
+        );
+        (g, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 12, .. ProptestConfig::default() })]
+
+    /// Property 1 of the paper: ball membership is preserved along shortest
+    /// paths, for every ball size.
+    #[test]
+    fn property_one_holds((g, _seed) in arb_graph(), ell in 3usize..20) {
+        let balls = BallTable::build(&g, ell);
+        for u in g.vertices().step_by(5) {
+            let spt = dijkstra(&g, u);
+            for &(v, _) in balls.ball(u).members() {
+                if v == u { continue; }
+                for w in spt.path_to(v).unwrap() {
+                    prop_assert!(balls.contains(w, v));
+                }
+            }
+        }
+    }
+
+    /// Triangle inequality and symmetry of the exact distance matrix (sanity
+    /// of the ground truth every stretch measurement relies on).
+    #[test]
+    fn distance_matrix_is_a_metric((g, _seed) in arb_graph()) {
+        let m = DistanceMatrix::new(&g);
+        let vs: Vec<VertexId> = g.vertices().collect();
+        for &a in vs.iter().step_by(7) {
+            for &b in vs.iter().step_by(5) {
+                prop_assert_eq!(m.dist(a, b), m.dist(b, a));
+                for &c in vs.iter().step_by(11) {
+                    let ab = m.dist(a, b).unwrap();
+                    let bc = m.dist(b, c).unwrap();
+                    let ac = m.dist(a, c).unwrap();
+                    prop_assert!(ac <= ab + bc);
+                }
+            }
+        }
+    }
+
+    /// The warm-up scheme never exceeds (3+2eps)·d on any sampled pair of any
+    /// random weighted graph.
+    #[test]
+    fn warmup_stretch_never_violated((g, seed) in arb_graph()) {
+        let eps = 0.5;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scheme = SchemeThreePlusEps::build(&g, &Params::with_epsilon(eps), &mut rng).unwrap();
+        let exact = DistanceMatrix::new(&g);
+        for u in g.vertices().step_by(6) {
+            for v in g.vertices().step_by(4) {
+                if u == v { continue; }
+                let out = simulate(&g, &scheme, u, v).unwrap();
+                let d = exact.dist(u, v).unwrap();
+                prop_assert!(out.weight as f64 <= (3.0 + 2.0 * eps) * d as f64 + 1e-9);
+            }
+        }
+    }
+
+    /// The (5+eps) scheme never exceeds (5+3eps)·d on any sampled pair.
+    #[test]
+    fn five_plus_eps_stretch_never_violated((g, seed) in arb_graph()) {
+        let eps = 1.0;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let scheme = SchemeFivePlusEps::build(&g, &Params::with_epsilon(eps), &mut rng).unwrap();
+        let exact = DistanceMatrix::new(&g);
+        for u in g.vertices().step_by(6) {
+            for v in g.vertices().step_by(4) {
+                if u == v { continue; }
+                let out = simulate(&g, &scheme, u, v).unwrap();
+                let d = exact.dist(u, v).unwrap();
+                prop_assert!(out.weight as f64 <= (5.0 + 3.0 * eps) * d as f64 + 1e-9);
+            }
+        }
+    }
+}
