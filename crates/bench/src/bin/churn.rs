@@ -1,0 +1,368 @@
+//! Experiment CH: churn resilience — what does dynamic node/edge churn do
+//! to each routing scheme's deliverability, and what does each rebuild
+//! policy buy back at what preprocessing cost?
+//!
+//! For every (scheme × removal mode × rebuild policy) combination the
+//! harness runs the seeded churn schedule, routes sampled pairs through the
+//! **stale** tables on the **mutated** graph each round, and prints a
+//! per-round table plus a final summary (the DRFE-style resilience table):
+//! `strategy × removal-mode → reachability / stretch / rebuild-ms`.
+//!
+//! Run with: `cargo run -p routing-bench --release --bin churn -- [OPTIONS]`
+//!
+//! # Options
+//!
+//! | flag | default | meaning |
+//! |------|---------|---------|
+//! | `--n <N>` | 1000 | vertices of the base graph |
+//! | `--family <F>` | `erdos-renyi` | `erdos-renyi`, `geometric`, `grid`, or `scale-free` |
+//! | `--rounds <R>` | 6 | churn rounds |
+//! | `--remove-frac <F>` | 0.05 | fraction of alive vertices removed per round |
+//! | `--add-frac <F>` | 0.5 | rejoining vertices per removed vertex |
+//! | `--edge-remove-frac <F>` | 0.02 | fraction of surviving edges failed per round |
+//! | `--edge-add-frac <F>` | 0.02 | new random edges per round (fraction of current edges) |
+//! | `--pairs <P>` | 2000 | routed pairs sampled per round |
+//! | `--epsilon <E>` | 0.5 | stretch slack for the paper's schemes |
+//! | `--seed <S>` | 7 | master seed (schedules and pair samples derive from it) |
+//! | `--schemes <LIST>` | `tz2,warmup,thm11` | comma list of `tz2`, `tz3`, `warmup`, `thm10`, `thm11`, `exact` |
+//! | `--modes <LIST>` | `random,targeted` | comma list of `random`, `targeted`, `degree-weighted` |
+//! | `--policies <LIST>` | `never,every-2,threshold-0.9` | comma list of `never`, `every-round`, `every-<k>`, `threshold-<x>` |
+//! | `--json <PATH>` | — | also write every run as a JSON array of `ChurnRunResult` |
+//! | `--help` | — | print this table |
+//!
+//! # Output schema (`--json`)
+//!
+//! The JSON artefact is an array of `routing_churn::ChurnRunResult`
+//! objects: `{scheme, mode, policy, base_n, base_m, build_ms, rounds: [
+//! {round, alive, edges, port_preservation, stale: {pairs,
+//! disconnected_pairs, delivered, failures: {invalid_port, wrong_delivery,
+//! hop_budget, unknown_vertex, scheme_error}, stretch}, rebuilt,
+//! rebuild_ms, component_fraction, post: {n, m, reachability,
+//! mean_stretch}?}, ...]}`.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_baselines::{ExactScheme, TzRoutingScheme};
+use routing_churn::{
+    run_churn, ChurnExperimentConfig, ChurnPlanConfig, ChurnRunResult, RebuildPolicy, RemovalMode,
+};
+use routing_core::{Params, SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
+use routing_graph::generators::{Family, WeightModel};
+use routing_graph::Graph;
+
+const SCHEME_NAMES: [&str; 6] = ["tz2", "tz3", "warmup", "thm10", "thm11", "exact"];
+
+struct Options {
+    n: usize,
+    family: Family,
+    rounds: usize,
+    remove_frac: f64,
+    add_frac: f64,
+    edge_remove_frac: f64,
+    edge_add_frac: f64,
+    pairs: usize,
+    epsilon: f64,
+    seed: u64,
+    schemes: Vec<String>,
+    modes: Vec<RemovalMode>,
+    policies: Vec<RebuildPolicy>,
+    json: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            n: 1000,
+            family: Family::ErdosRenyi,
+            rounds: 6,
+            remove_frac: 0.05,
+            add_frac: 0.5,
+            edge_remove_frac: 0.02,
+            edge_add_frac: 0.02,
+            pairs: 2000,
+            epsilon: 0.5,
+            seed: 7,
+            schemes: vec!["tz2".into(), "warmup".into(), "thm11".into()],
+            modes: vec![RemovalMode::Random, RemovalMode::Targeted],
+            policies: vec![
+                RebuildPolicy::Never,
+                RebuildPolicy::EveryK(2),
+                RebuildPolicy::ReachabilityBelow(0.9),
+            ],
+            json: None,
+        }
+    }
+}
+
+fn usage() -> ! {
+    print_usage();
+    std::process::exit(2)
+}
+
+fn print_usage() {
+    // Keep this text in sync with the module doc table above and README.md.
+    eprintln!(
+        "churn — churn-resilience experiment for compact routing schemes
+
+USAGE: churn [OPTIONS]
+
+OPTIONS:
+  --n <N>                 vertices of the base graph            [default: 1000]
+  --family <F>            erdos-renyi|geometric|grid|scale-free [default: erdos-renyi]
+  --rounds <R>            churn rounds                          [default: 6]
+  --remove-frac <F>       alive vertices removed per round      [default: 0.05]
+  --add-frac <F>          rejoining vertices per removal        [default: 0.5]
+  --edge-remove-frac <F>  surviving edges failed per round      [default: 0.02]
+  --edge-add-frac <F>     new edges per round                   [default: 0.02]
+  --pairs <P>             routed pairs sampled per round        [default: 2000]
+  --epsilon <E>           epsilon of the paper's schemes        [default: 0.5]
+  --seed <S>              master seed                           [default: 7]
+  --schemes <LIST>        tz2,tz3,warmup,thm10,thm11,exact      [default: tz2,warmup,thm11]
+  --modes <LIST>          random,targeted,degree-weighted       [default: random,targeted]
+  --policies <LIST>       never,every-round,every-<k>,threshold-<x>
+                                                                [default: never,every-2,threshold-0.9]
+  --json <PATH>           write all runs as a JSON array
+  --help                  show this help"
+    );
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            print_usage();
+            std::process::exit(0);
+        }
+        let Some(value) = args.next() else {
+            eprintln!("missing value for {flag}");
+            usage();
+        };
+        let bad = |what: &str| -> ! {
+            eprintln!("invalid value {value:?} for {flag}: {what}");
+            usage();
+        };
+        match flag.as_str() {
+            "--n" => opts.n = value.parse().unwrap_or_else(|_| bad("expected an integer")),
+            "--family" => {
+                opts.family = match value.as_str() {
+                    "erdos-renyi" => Family::ErdosRenyi,
+                    "geometric" => Family::Geometric,
+                    "grid" => Family::Grid,
+                    "scale-free" => Family::ScaleFree,
+                    _ => bad("unknown family"),
+                }
+            }
+            "--rounds" => opts.rounds = value.parse().unwrap_or_else(|_| bad("expected an integer")),
+            "--remove-frac" => {
+                opts.remove_frac = value.parse().unwrap_or_else(|_| bad("expected a float"))
+            }
+            "--add-frac" => opts.add_frac = value.parse().unwrap_or_else(|_| bad("expected a float")),
+            "--edge-remove-frac" => {
+                opts.edge_remove_frac = value.parse().unwrap_or_else(|_| bad("expected a float"))
+            }
+            "--edge-add-frac" => {
+                opts.edge_add_frac = value.parse().unwrap_or_else(|_| bad("expected a float"))
+            }
+            "--pairs" => opts.pairs = value.parse().unwrap_or_else(|_| bad("expected an integer")),
+            "--epsilon" => opts.epsilon = value.parse().unwrap_or_else(|_| bad("expected a float")),
+            "--seed" => opts.seed = value.parse().unwrap_or_else(|_| bad("expected an integer")),
+            "--schemes" => {
+                opts.schemes = value.split(',').map(str::to_string).collect();
+                for s in &opts.schemes {
+                    if !SCHEME_NAMES.contains(&s.as_str()) {
+                        bad("unknown scheme");
+                    }
+                }
+            }
+            "--modes" => {
+                opts.modes = value
+                    .split(',')
+                    .map(|m| RemovalMode::parse(m).unwrap_or_else(|| bad("unknown mode")))
+                    .collect()
+            }
+            "--policies" => {
+                opts.policies = value
+                    .split(',')
+                    .map(|p| RebuildPolicy::parse(p).unwrap_or_else(|| bad("unknown policy")))
+                    .collect()
+            }
+            "--json" => opts.json = Some(value),
+            _ => {
+                eprintln!("unknown flag {flag}");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+/// Dispatches on the scheme name; each arm monomorphizes `run_churn` for
+/// its concrete scheme type.
+fn run_one(
+    scheme: &str,
+    base: &Graph,
+    plan_cfg: &ChurnPlanConfig,
+    cfg: &ChurnExperimentConfig,
+    epsilon: f64,
+    build_seed: u64,
+) -> Result<ChurnRunResult, String> {
+    let params = Params::with_epsilon(epsilon);
+    match scheme {
+        "tz2" => run_churn(base, plan_cfg, cfg, |g| {
+            let mut rng = StdRng::seed_from_u64(build_seed);
+            Ok(TzRoutingScheme::build(g, 2, &mut rng))
+        }),
+        "tz3" => run_churn(base, plan_cfg, cfg, |g| {
+            let mut rng = StdRng::seed_from_u64(build_seed);
+            Ok(TzRoutingScheme::build(g, 3, &mut rng))
+        }),
+        "warmup" => run_churn(base, plan_cfg, cfg, |g| {
+            let mut rng = StdRng::seed_from_u64(build_seed);
+            SchemeThreePlusEps::build(g, &params, &mut rng).map_err(|e| e.to_string())
+        }),
+        "thm10" => run_churn(base, plan_cfg, cfg, |g| {
+            let mut rng = StdRng::seed_from_u64(build_seed);
+            SchemeTwoPlusEps::build(g, &params, &mut rng).map_err(|e| e.to_string())
+        }),
+        "thm11" => run_churn(base, plan_cfg, cfg, |g| {
+            let mut rng = StdRng::seed_from_u64(build_seed);
+            SchemeFivePlusEps::build(g, &params, &mut rng).map_err(|e| e.to_string())
+        }),
+        "exact" => run_churn(base, plan_cfg, cfg, |g| Ok(ExactScheme::build(g))),
+        other => Err(format!("unknown scheme {other}")),
+    }
+}
+
+fn print_rounds(result: &ChurnRunResult) {
+    println!(
+        "\n--- {} | mode={} | policy={} | build {:.0} ms ---",
+        result.scheme, result.mode, result.policy, result.build_ms
+    );
+    println!(
+        "{:>5} {:>6} {:>7} {:>10} {:>7} {:>8} {:>8} {:>24} {:>8} {:>11} {:>10}",
+        "round",
+        "alive",
+        "edges",
+        "ports-kept",
+        "reach",
+        "stretch",
+        "max-str",
+        "failures(ip/wd/hb/uv/se)",
+        "rebuilt",
+        "rebuild-ms",
+        "post-reach"
+    );
+    for r in &result.rounds {
+        let f = &r.stale.failures;
+        println!(
+            "{:>5} {:>6} {:>7} {:>9.1}% {:>6.1}% {:>8.3} {:>8.3} {:>24} {:>8} {:>11.1} {:>10}",
+            r.round,
+            r.alive,
+            r.edges,
+            100.0 * r.port_preservation,
+            100.0 * r.stale.reachability(),
+            r.stale.stretch.mean_multiplicative().unwrap_or(1.0),
+            r.stale.stretch.max_multiplicative().unwrap_or(1.0),
+            format!(
+                "{}/{}/{}/{}/{}",
+                f.invalid_port, f.wrong_delivery, f.hop_budget, f.unknown_vertex, f.scheme_error
+            ),
+            if r.rebuilt { "yes" } else { "-" },
+            r.rebuild_ms,
+            r.post
+                .as_ref()
+                .map_or("-".to_string(), |p| format!("{:.1}%", 100.0 * p.reachability)),
+        );
+    }
+}
+
+fn print_summary(results: &[ChurnRunResult]) {
+    println!("\n=== churn-resilience summary (final round) ===");
+    println!(
+        "{:<30} {:<16} {:<15} {:>11} {:>11} {:>9} {:>9} {:>12}",
+        "scheme", "mode", "policy", "final-reach", "worst-reach", "stretch", "rebuilds", "rebuild-ms"
+    );
+    println!("{}", "-".repeat(120));
+    for r in results {
+        let final_stretch = r
+            .rounds
+            .last()
+            .and_then(|x| x.stale.stretch.mean_multiplicative())
+            .unwrap_or(1.0);
+        println!(
+            "{:<30} {:<16} {:<15} {:>10.1}% {:>10.1}% {:>9.3} {:>9} {:>12.1}",
+            r.scheme,
+            r.mode,
+            r.policy,
+            100.0 * r.final_reachability(),
+            100.0 * r.worst_reachability(),
+            final_stretch,
+            r.rebuild_count(),
+            r.total_rebuild_ms(),
+        );
+    }
+}
+
+fn main() {
+    let opts = parse_options();
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let base = opts.family.generate(opts.n, WeightModel::Unit, &mut rng);
+    println!(
+        "base instance: family={} n={} m={} | rounds={} remove={:.0}% add={:.0}% pairs={} seed={}",
+        opts.family.name(),
+        base.n(),
+        base.m(),
+        opts.rounds,
+        100.0 * opts.remove_frac,
+        100.0 * opts.add_frac,
+        opts.pairs,
+        opts.seed,
+    );
+
+    let mut results: Vec<ChurnRunResult> = Vec::new();
+    for (mode_idx, &mode) in opts.modes.iter().enumerate() {
+        let plan_cfg = ChurnPlanConfig {
+            rounds: opts.rounds,
+            remove_frac: opts.remove_frac,
+            add_frac: opts.add_frac,
+            edge_remove_frac: opts.edge_remove_frac,
+            edge_add_frac: opts.edge_add_frac,
+            mode,
+            // One trajectory per mode, shared by every scheme and policy so
+            // their rows are comparable.
+            seed: opts.seed ^ (0x5eed << mode_idx),
+        };
+        for scheme in &opts.schemes {
+            for &policy in &opts.policies {
+                let cfg = ChurnExperimentConfig {
+                    pairs_per_round: opts.pairs,
+                    policy,
+                    seed: opts.seed ^ 0xa11ce,
+                };
+                match run_one(scheme, &base, &plan_cfg, &cfg, opts.epsilon, opts.seed ^ 0xb111d) {
+                    Ok(result) => {
+                        print_rounds(&result);
+                        results.push(result);
+                    }
+                    Err(e) => eprintln!(
+                        "run failed: scheme={scheme} mode={} policy={policy}: {e}",
+                        mode.name()
+                    ),
+                }
+            }
+        }
+    }
+
+    print_summary(&results);
+
+    if let Some(path) = &opts.json {
+        match serde_json::to_string_pretty(&results) {
+            Ok(json) => match std::fs::write(path, json) {
+                Ok(()) => println!("\n(wrote {path})"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            },
+            Err(e) => eprintln!("could not serialize results: {e}"),
+        }
+    }
+}

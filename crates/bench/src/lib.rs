@@ -15,6 +15,23 @@
 //! Binaries under `src/bin/` drive individual experiments (see DESIGN.md's
 //! experiment index); the Criterion benches under `benches/` time
 //! preprocessing and per-hop routing decisions.
+//!
+//! # The `churn` binary
+//!
+//! Beyond the static Table 1 artefacts, the `churn` binary runs the
+//! dynamic-churn resilience experiment of the `routing-churn` crate: it
+//! subjects every selected scheme to seeded multi-round node/edge churn
+//! (uniform random, targeted-on-hubs, or degree-weighted removals), routes
+//! sampled pairs through the **stale** tables on the **mutated** graph, and
+//! reports per round: reachability, stretch of the delivered pairs, a
+//! failure breakdown (invalid port / wrong delivery / hop-budget loop /
+//! unknown vertex / scheme error), and the wall-clock cost of rebuilds
+//! triggered by the selected `routing_churn::RebuildPolicy`. Run
+//! `cargo run -p routing-bench --release --bin churn -- --help` for the
+//! full flag table; the flags and the JSON output schema are documented in
+//! the binary's module docs (`src/bin/churn.rs`) and in the top-level
+//! README, and `--json <path>` writes the runs as a JSON array of
+//! `routing_churn::ChurnRunResult`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,75 @@
+//! Dynamic-churn workloads for compact routing schemes.
+//!
+//! The Roditty–Tov schemes (and the Thorup–Zwick baselines) are defined and
+//! analysed for **static** graphs: a centralized preprocessing phase builds
+//! the routing tables, then the graph never changes. Real networks — P2P
+//! overlays, ISP backbones under maintenance, sensor fields — churn: nodes
+//! leave, crash, join, and links flap. This crate measures what that churn
+//! does to a deployed scheme and what rebuild discipline buys back:
+//!
+//! * [`plan`] — seeded churn-schedule generation ([`ChurnPlan`],
+//!   [`ChurnProcess`]): per-round batches of vertex/edge removals and
+//!   additions under several adversary models ([`RemovalMode`]): uniform
+//!   random failure, targeted attack on the highest-degree vertices, and
+//!   degree-weighted (preferential) failure.
+//! * [`policy`] — rebuild disciplines ([`RebuildPolicy`]): never rebuild,
+//!   rebuild every round, every `k` rounds, or whenever measured
+//!   reachability drops below a threshold.
+//! * [`experiment`] — the driver ([`run_churn`]): applies one churn round at
+//!   a time, routes sampled pairs through the *stale* tables on the mutated
+//!   graph (via `routing_model::stale`), decides whether the policy
+//!   triggers, and — when it does — rebuilds the scheme on the largest
+//!   alive component with wall-clock rebuild-time accounting.
+//!
+//! The headline artefact is the per-round table of
+//! reachability / stretch / rebuild-milliseconds per (scheme × removal mode
+//! × policy), produced by the `churn` binary in `routing-bench` — the same
+//! shape of evidence DRFE-style dynamic-routing papers report for
+//! Thorup–Zwick-style schemes under 20% targeted churn.
+//!
+//! # Example
+//!
+//! ```
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//! use routing_baselines::TzRoutingScheme;
+//! use routing_churn::{run_churn, ChurnExperimentConfig, ChurnPlanConfig, RebuildPolicy, RemovalMode};
+//! use routing_graph::generators::{Family, WeightModel};
+//!
+//! # fn main() -> Result<(), String> {
+//! let mut rng = StdRng::seed_from_u64(7);
+//! let g = Family::ErdosRenyi.generate(200, WeightModel::Unit, &mut rng);
+//! let plan = ChurnPlanConfig {
+//!     rounds: 3,
+//!     remove_frac: 0.10,
+//!     mode: RemovalMode::Targeted,
+//!     ..ChurnPlanConfig::default()
+//! };
+//! let cfg = ChurnExperimentConfig {
+//!     pairs_per_round: 300,
+//!     policy: RebuildPolicy::ReachabilityBelow(0.9),
+//!     seed: 11,
+//! };
+//! let result = run_churn(&g, &plan, &cfg, |g| {
+//!     let mut rng = StdRng::seed_from_u64(3);
+//!     Ok(TzRoutingScheme::build(g, 2, &mut rng))
+//! })?;
+//! assert_eq!(result.rounds.len(), 3);
+//! // Under targeted 10%-per-round churn, stale reachability decays…
+//! assert!(result.rounds[0].stale.reachability() <= 1.0);
+//! // …and each round reports what a rebuild would have cost.
+//! assert!(result.build_ms >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod plan;
+pub mod policy;
+
+pub use experiment::{run_churn, ChurnExperimentConfig, ChurnRunResult, PostRebuild, RoundRecord};
+pub use plan::{ChurnPlan, ChurnPlanConfig, ChurnProcess, RemovalMode};
+pub use policy::RebuildPolicy;

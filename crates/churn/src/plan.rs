@@ -1,0 +1,473 @@
+//! Seeded generation of multi-round churn schedules.
+//!
+//! A churn schedule is a sequence of event batches (rounds); each round
+//! removes a fraction of the alive vertices under an adversary model,
+//! churns a fraction of the surviving edges, and lets a fraction of the
+//! removed capacity rejoin as fresh vertices. Everything is driven by one
+//! seed, so a schedule — and therefore a whole experiment — is exactly
+//! reproducible.
+//!
+//! Two entry points:
+//!
+//! * [`ChurnPlan::generate`] materializes the full schedule up front against
+//!   a fixed base graph (useful for inspection and for tests);
+//! * [`ChurnProcess`] generates and applies one round at a time against an
+//!   *evolving* graph, which is what the experiment driver needs — after a
+//!   rebuild compacts the graph, subsequent rounds must be drawn against
+//!   the compacted instance.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use routing_graph::mutate::{apply_events, ChurnEvent, Mutation, MutationStats};
+use routing_graph::{Graph, VertexId, Weight};
+
+/// The adversary model choosing which vertices are removed each round.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RemovalMode {
+    /// Uniformly random alive vertices (fail-stop crashes).
+    Random,
+    /// The highest-degree alive vertices (a targeted attack on hubs — the
+    /// adversary model under which compact schemes collapse fastest,
+    /// because hubs concentrate landmark and tree-routing roles).
+    Targeted,
+    /// Alive vertices sampled with probability proportional to degree + 1
+    /// (preferential failure: busy nodes fail more, but not adversarially).
+    DegreeWeighted,
+}
+
+impl RemovalMode {
+    /// All modes, in reporting order.
+    pub const ALL: [RemovalMode; 3] =
+        [RemovalMode::Random, RemovalMode::Targeted, RemovalMode::DegreeWeighted];
+
+    /// Short name used in harness output and CLI flags.
+    pub fn name(self) -> &'static str {
+        match self {
+            RemovalMode::Random => "random",
+            RemovalMode::Targeted => "targeted",
+            RemovalMode::DegreeWeighted => "degree-weighted",
+        }
+    }
+
+    /// Parses a CLI name (the inverse of [`RemovalMode::name`]).
+    pub fn parse(s: &str) -> Option<RemovalMode> {
+        match s {
+            "random" => Some(RemovalMode::Random),
+            "targeted" => Some(RemovalMode::Targeted),
+            "degree-weighted" | "weighted" => Some(RemovalMode::DegreeWeighted),
+            _ => None,
+        }
+    }
+}
+
+/// Parameters of a churn schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnPlanConfig {
+    /// Number of churn rounds.
+    pub rounds: usize,
+    /// Fraction of alive vertices removed per round (clamped so that at
+    /// least two vertices stay alive).
+    pub remove_frac: f64,
+    /// Fresh vertices added per round, as a fraction of that round's
+    /// removals (0.5 means half the departed capacity rejoins).
+    pub add_frac: f64,
+    /// Fraction of the surviving edges additionally removed per round
+    /// (link failures independent of vertex churn).
+    pub edge_remove_frac: f64,
+    /// New random edges added per round, as a fraction of the current edge
+    /// count (new links forming between surviving vertices).
+    pub edge_add_frac: f64,
+    /// The vertex-removal adversary model.
+    pub mode: RemovalMode,
+    /// Seed for the schedule's randomness.
+    pub seed: u64,
+}
+
+impl Default for ChurnPlanConfig {
+    fn default() -> Self {
+        ChurnPlanConfig {
+            rounds: 5,
+            remove_frac: 0.05,
+            add_frac: 0.5,
+            edge_remove_frac: 0.02,
+            edge_add_frac: 0.02,
+            mode: RemovalMode::Random,
+            seed: 7,
+        }
+    }
+}
+
+/// A fully materialized churn schedule: one event batch per round, valid
+/// when applied in order (via [`routing_graph::mutate::apply_events`])
+/// starting from the base graph it was generated against.
+#[derive(Debug, Clone)]
+pub struct ChurnPlan {
+    /// The configuration that produced this plan.
+    pub config: ChurnPlanConfig,
+    /// Event batches, one per round.
+    pub rounds: Vec<Vec<ChurnEvent>>,
+}
+
+impl ChurnPlan {
+    /// Generates the schedule for `base` under `config`. Deterministic
+    /// given `config.seed`.
+    pub fn generate(base: &Graph, config: &ChurnPlanConfig) -> ChurnPlan {
+        let mut process = ChurnProcess::new(base.clone(), *config);
+        let mut rounds = Vec::with_capacity(config.rounds);
+        for _ in 0..config.rounds {
+            let (events, _) = process.next_round();
+            rounds.push(events);
+        }
+        ChurnPlan { config: *config, rounds }
+    }
+
+    /// Total number of events across all rounds.
+    pub fn total_events(&self) -> usize {
+        self.rounds.iter().map(Vec::len).sum()
+    }
+}
+
+/// An evolving churn process: owns the current graph and liveness mask, and
+/// generates + applies one round of churn at a time.
+///
+/// The experiment driver resets the process graph after a rebuild (the
+/// rebuilt scheme lives on the compacted largest component), which is why
+/// this type exposes [`ChurnProcess::reset_graph`] rather than being a pure
+/// iterator.
+#[derive(Debug, Clone)]
+pub struct ChurnProcess {
+    graph: Graph,
+    alive: Vec<bool>,
+    config: ChurnPlanConfig,
+    rng: StdRng,
+    round: usize,
+}
+
+impl ChurnProcess {
+    /// Starts a process at `base` with every vertex alive.
+    pub fn new(base: Graph, config: ChurnPlanConfig) -> ChurnProcess {
+        let alive = vec![true; base.n()];
+        ChurnProcess { graph: base, alive, config, rng: StdRng::seed_from_u64(config.seed), round: 0 }
+    }
+
+    /// The current (mutated) graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The current liveness mask (same length as `graph().n()`).
+    pub fn alive(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Number of alive vertices.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|&&a| a).count()
+    }
+
+    /// Rounds generated so far.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Replaces the process state with a new graph in which every vertex is
+    /// alive (used by the experiment driver after a rebuild compacts the
+    /// graph to its largest component). The random stream continues.
+    pub fn reset_graph(&mut self, graph: Graph) {
+        self.alive = vec![true; graph.n()];
+        self.graph = graph;
+    }
+
+    /// Generates the next round of churn, applies it to the current graph,
+    /// and returns the events plus the mutation's survival statistics.
+    pub fn next_round(&mut self) -> (Vec<ChurnEvent>, MutationStats) {
+        let events = self.generate_round_events();
+        let Mutation { graph, alive, stats } =
+            apply_events(&self.graph, Some(&self.alive), &events)
+                .expect("generated churn events are valid by construction");
+        self.graph = graph;
+        self.alive = alive;
+        self.round += 1;
+        (events, stats)
+    }
+
+    fn generate_round_events(&mut self) -> Vec<ChurnEvent> {
+        let alive_ids: Vec<VertexId> = self
+            .alive
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| a)
+            .map(|(i, _)| VertexId(i as u32))
+            .collect();
+        let alive_count = alive_ids.len();
+        // Keep at least two vertices alive so the experiment never runs on
+        // an empty instance.
+        let want = (self.config.remove_frac * alive_count as f64).round() as usize;
+        let k_remove = want.min(alive_count.saturating_sub(2));
+        let victims = self.pick_victims(&alive_ids, k_remove);
+
+        let victim_set: Vec<bool> = {
+            let mut mask = vec![false; self.alive.len()];
+            for &v in &victims {
+                mask[v.index()] = true;
+            }
+            mask
+        };
+        let survivors: Vec<VertexId> = alive_ids
+            .iter()
+            .copied()
+            .filter(|v| !victim_set[v.index()])
+            .collect();
+
+        let mut events: Vec<ChurnEvent> =
+            victims.iter().map(|&v| ChurnEvent::RemoveVertex(v)).collect();
+
+        // Link failures among surviving edges.
+        let mut surviving_edges: Vec<(VertexId, VertexId, Weight)> = self
+            .graph
+            .all_edges()
+            .filter(|&(u, v, _)| {
+                self.alive[u.index()]
+                    && self.alive[v.index()]
+                    && !victim_set[u.index()]
+                    && !victim_set[v.index()]
+            })
+            .collect();
+        let k_edge_remove =
+            (self.config.edge_remove_frac * surviving_edges.len() as f64).round() as usize;
+        surviving_edges.shuffle(&mut self.rng);
+        for &(u, v, _) in surviving_edges.iter().take(k_edge_remove) {
+            events.push(ChurnEvent::RemoveEdge(u, v));
+        }
+        let removed_edge_count = k_edge_remove.min(surviving_edges.len());
+
+        // Rejoining vertices: each connects to ~average-degree random
+        // survivors with weights drawn from the current weight range.
+        let k_add = (self.config.add_frac * k_remove as f64).round() as usize;
+        let avg_degree = if alive_count > 0 {
+            (2.0 * self.graph.m() as f64 / alive_count as f64).round() as usize
+        } else {
+            0
+        };
+        let attach = avg_degree.clamp(1, survivors.len().saturating_sub(1).max(1));
+        let (w_lo, w_hi) = self.graph.weight_range().unwrap_or((1, 1));
+        for _ in 0..k_add {
+            if survivors.is_empty() {
+                break;
+            }
+            let mut endpoints = survivors.clone();
+            endpoints.shuffle(&mut self.rng);
+            endpoints.truncate(attach);
+            let edges: Vec<(VertexId, Weight)> = endpoints
+                .into_iter()
+                .map(|u| (u, self.sample_weight(w_lo, w_hi)))
+                .collect();
+            events.push(ChurnEvent::AddVertex { edges });
+        }
+
+        // New links between surviving vertices.
+        let k_edge_add =
+            (self.config.edge_add_frac * (self.graph.m() - removed_edge_count).max(1) as f64)
+                .round() as usize;
+        if survivors.len() >= 2 {
+            let mut added: Vec<(VertexId, VertexId)> = Vec::new();
+            let mut guard = 0;
+            while added.len() < k_edge_add && guard < 20 * k_edge_add.max(1) {
+                guard += 1;
+                let u = *survivors.choose(&mut self.rng).expect("survivors non-empty");
+                let v = *survivors.choose(&mut self.rng).expect("survivors non-empty");
+                if u == v || self.graph.has_edge(u, v) {
+                    continue;
+                }
+                let (a, b) = if u < v { (u, v) } else { (v, u) };
+                if added.contains(&(a, b)) {
+                    continue;
+                }
+                // The edge must also not be one we are removing this round —
+                // re-adding it would be valid but would cancel the churn.
+                if surviving_edges[..removed_edge_count]
+                    .iter()
+                    .any(|&(x, y, _)| (x, y) == (a, b) || (y, x) == (a, b))
+                {
+                    continue;
+                }
+                added.push((a, b));
+                events.push(ChurnEvent::AddEdge(a, b, self.sample_weight(w_lo, w_hi)));
+            }
+        }
+
+        events
+    }
+
+    fn pick_victims(&mut self, alive_ids: &[VertexId], k: usize) -> Vec<VertexId> {
+        if k == 0 {
+            return Vec::new();
+        }
+        match self.config.mode {
+            RemovalMode::Random => {
+                let mut ids = alive_ids.to_vec();
+                ids.shuffle(&mut self.rng);
+                ids.truncate(k);
+                ids
+            }
+            RemovalMode::Targeted => {
+                let mut ids = alive_ids.to_vec();
+                // Highest degree first; ties by id for determinism.
+                ids.sort_by_key(|&v| (std::cmp::Reverse(self.graph.degree(v)), v));
+                ids.truncate(k);
+                ids
+            }
+            RemovalMode::DegreeWeighted => {
+                // Weighted sampling without replacement via exponential
+                // sort-keys (Efraimidis–Spirakis): key = u^(1/w) with
+                // w = degree + 1; take the k largest keys.
+                let mut keyed: Vec<(f64, VertexId)> = alive_ids
+                    .iter()
+                    .map(|&v| {
+                        let w = (self.graph.degree(v) + 1) as f64;
+                        let u: f64 = self.rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                        (u.powf(1.0 / w), v)
+                    })
+                    .collect();
+                keyed.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("keys are finite"));
+                keyed.truncate(k);
+                keyed.into_iter().map(|(_, v)| v).collect()
+            }
+        }
+    }
+
+    fn sample_weight(&mut self, lo: Weight, hi: Weight) -> Weight {
+        if lo >= hi {
+            lo.max(1)
+        } else {
+            self.rng.gen_range(lo..=hi)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use routing_graph::generators::{self, Family, WeightModel};
+
+    fn base(n: usize) -> Graph {
+        let mut rng = StdRng::seed_from_u64(1);
+        Family::ErdosRenyi.generate(n, WeightModel::Unit, &mut rng)
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let g = base(120);
+        let cfg = ChurnPlanConfig { rounds: 3, ..ChurnPlanConfig::default() };
+        let a = ChurnPlan::generate(&g, &cfg);
+        let b = ChurnPlan::generate(&g, &cfg);
+        assert_eq!(a.rounds, b.rounds);
+        assert_eq!(a.rounds.len(), 3);
+        assert!(a.total_events() > 0);
+        let c = ChurnPlan::generate(&g, &ChurnPlanConfig { seed: 8, ..cfg });
+        assert_ne!(a.rounds, c.rounds, "different seeds give different plans");
+    }
+
+    #[test]
+    fn zero_churn_plan_is_empty() {
+        let g = base(80);
+        let cfg = ChurnPlanConfig {
+            rounds: 2,
+            remove_frac: 0.0,
+            add_frac: 0.0,
+            edge_remove_frac: 0.0,
+            edge_add_frac: 0.0,
+            ..ChurnPlanConfig::default()
+        };
+        let plan = ChurnPlan::generate(&g, &cfg);
+        assert_eq!(plan.total_events(), 0);
+        // Applying the empty rounds is the identity.
+        let m = apply_events(&g, None, &plan.rounds[0]).unwrap();
+        assert_eq!(m.graph, g);
+        assert!(m.alive.iter().all(|&a| a));
+    }
+
+    #[test]
+    fn generated_plans_apply_cleanly() {
+        let g = base(100);
+        for mode in RemovalMode::ALL {
+            let cfg = ChurnPlanConfig {
+                rounds: 4,
+                remove_frac: 0.1,
+                mode,
+                ..ChurnPlanConfig::default()
+            };
+            let plan = ChurnPlan::generate(&g, &cfg);
+            let mut graph = g.clone();
+            let mut alive: Vec<bool> = vec![true; g.n()];
+            for round in &plan.rounds {
+                let m = apply_events(&graph, Some(&alive), round).unwrap();
+                graph = m.graph;
+                alive = m.alive;
+            }
+            let alive_count = alive.iter().filter(|&&a| a).count();
+            assert!(alive_count >= 2, "{}: everything died", mode.name());
+        }
+    }
+
+    #[test]
+    fn targeted_mode_removes_hubs_first() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let g = generators::barabasi_albert(150, 3, WeightModel::Unit, &mut rng);
+        let max_degree = g.vertices().map(|v| g.degree(v)).max().unwrap();
+        let cfg = ChurnPlanConfig {
+            rounds: 1,
+            remove_frac: 0.05,
+            add_frac: 0.0,
+            mode: RemovalMode::Targeted,
+            ..ChurnPlanConfig::default()
+        };
+        let plan = ChurnPlan::generate(&g, &cfg);
+        let removed_degrees: Vec<usize> = plan.rounds[0]
+            .iter()
+            .filter_map(|e| match e {
+                ChurnEvent::RemoveVertex(v) => Some(g.degree(*v)),
+                _ => None,
+            })
+            .collect();
+        assert!(!removed_degrees.is_empty());
+        assert!(
+            removed_degrees.contains(&max_degree),
+            "the top hub must be the first victim"
+        );
+    }
+
+    #[test]
+    fn process_survives_many_rounds_and_reset() {
+        let g = base(100);
+        let cfg = ChurnPlanConfig {
+            rounds: 10,
+            remove_frac: 0.2,
+            add_frac: 1.0,
+            ..ChurnPlanConfig::default()
+        };
+        let mut process = ChurnProcess::new(g.clone(), cfg);
+        for _ in 0..5 {
+            let (events, stats) = process.next_round();
+            assert!(!events.is_empty());
+            assert!(stats.port_preservation() <= 1.0);
+        }
+        assert_eq!(process.round(), 5);
+        assert!(process.alive_count() >= 2);
+        // Reset to a fresh small graph and keep going.
+        process.reset_graph(generators::cycle(30));
+        assert_eq!(process.alive_count(), 30);
+        let (_, _) = process.next_round();
+        assert!(process.alive_count() >= 2);
+    }
+
+    #[test]
+    fn mode_names_round_trip() {
+        for mode in RemovalMode::ALL {
+            assert_eq!(RemovalMode::parse(mode.name()), Some(mode));
+        }
+        assert_eq!(RemovalMode::parse("bogus"), None);
+    }
+}

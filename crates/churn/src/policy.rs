@@ -1,0 +1,120 @@
+//! Rebuild disciplines: when does an operator pay for re-running the
+//! (centralized, expensive) preprocessing phase?
+//!
+//! The trade-off the churn experiments expose is precisely this knob:
+//! rebuilding every round keeps reachability at 1.0 at maximal
+//! preprocessing cost; never rebuilding is free and decays towards
+//! unreachability; the interesting policies are in between.
+
+use std::fmt;
+
+/// When to rebuild the routing scheme during a churn experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RebuildPolicy {
+    /// Never rebuild: measure raw stale-table decay.
+    Never,
+    /// Rebuild after every churn round (an upper bound on cost and on
+    /// post-churn reachability).
+    EveryRound,
+    /// Rebuild every `k`-th round (`k >= 1`; `EveryK(1)` equals
+    /// [`RebuildPolicy::EveryRound`]).
+    EveryK(usize),
+    /// Rebuild whenever the measured stale reachability of the round drops
+    /// below this threshold (reactive repair driven by monitoring).
+    ReachabilityBelow(f64),
+}
+
+impl RebuildPolicy {
+    /// Decides whether to rebuild, given the measurement of the current
+    /// round.
+    ///
+    /// * `rounds_since_rebuild` — rounds elapsed since the last rebuild
+    ///   (or since the initial build), counting the current round; it is
+    ///   at least 1.
+    /// * `stale_reachability` — the reachability measured through the stale
+    ///   tables this round.
+    pub fn should_rebuild(&self, rounds_since_rebuild: usize, stale_reachability: f64) -> bool {
+        match *self {
+            RebuildPolicy::Never => false,
+            RebuildPolicy::EveryRound => true,
+            RebuildPolicy::EveryK(k) => rounds_since_rebuild >= k.max(1),
+            RebuildPolicy::ReachabilityBelow(threshold) => stale_reachability < threshold,
+        }
+    }
+
+    /// Parses a CLI name: `never`, `every-round`, `every-<k>`, or
+    /// `threshold-<x>` (e.g. `threshold-0.9`).
+    pub fn parse(s: &str) -> Option<RebuildPolicy> {
+        match s {
+            "never" => return Some(RebuildPolicy::Never),
+            "every-round" => return Some(RebuildPolicy::EveryRound),
+            _ => {}
+        }
+        if let Some(k) = s.strip_prefix("every-") {
+            return k.parse::<usize>().ok().filter(|&k| k >= 1).map(RebuildPolicy::EveryK);
+        }
+        if let Some(t) = s.strip_prefix("threshold-") {
+            return t
+                .parse::<f64>()
+                .ok()
+                .filter(|t| (0.0..=1.0).contains(t))
+                .map(RebuildPolicy::ReachabilityBelow);
+        }
+        None
+    }
+}
+
+impl fmt::Display for RebuildPolicy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RebuildPolicy::Never => write!(f, "never"),
+            RebuildPolicy::EveryRound => write!(f, "every-round"),
+            RebuildPolicy::EveryK(k) => write!(f, "every-{k}"),
+            RebuildPolicy::ReachabilityBelow(t) => write!(f, "threshold-{t}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn never_and_every_round() {
+        assert!(!RebuildPolicy::Never.should_rebuild(99, 0.0));
+        assert!(RebuildPolicy::EveryRound.should_rebuild(1, 1.0));
+    }
+
+    #[test]
+    fn every_k_counts_rounds() {
+        let p = RebuildPolicy::EveryK(3);
+        assert!(!p.should_rebuild(1, 0.0));
+        assert!(!p.should_rebuild(2, 0.0));
+        assert!(p.should_rebuild(3, 1.0));
+        // k = 0 is treated as 1.
+        assert!(RebuildPolicy::EveryK(0).should_rebuild(1, 1.0));
+    }
+
+    #[test]
+    fn threshold_reacts_to_reachability() {
+        let p = RebuildPolicy::ReachabilityBelow(0.9);
+        assert!(!p.should_rebuild(1, 0.95));
+        assert!(!p.should_rebuild(1, 0.9));
+        assert!(p.should_rebuild(1, 0.89));
+    }
+
+    #[test]
+    fn parse_round_trips() {
+        for p in [
+            RebuildPolicy::Never,
+            RebuildPolicy::EveryRound,
+            RebuildPolicy::EveryK(4),
+            RebuildPolicy::ReachabilityBelow(0.75),
+        ] {
+            assert_eq!(RebuildPolicy::parse(&p.to_string()), Some(p));
+        }
+        assert_eq!(RebuildPolicy::parse("every-0"), None);
+        assert_eq!(RebuildPolicy::parse("threshold-2.0"), None);
+        assert_eq!(RebuildPolicy::parse("sometimes"), None);
+    }
+}

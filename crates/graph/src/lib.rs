@@ -14,6 +14,9 @@
 //!   stand in for the absence of a dataset).
 //! * [`apsp`] — exact all-pairs shortest paths used as ground truth by tests
 //!   and by the stretch measurements.
+//! * [`mutate`] — churn support: derive a mutated CSR graph from a base
+//!   graph plus a batch of vertex/edge removals and additions, preserving
+//!   fixed ports where possible, with component extraction for rebuilds.
 //!
 //! Distances are exact unsigned integers ([`Weight`]); "weighted" graphs in
 //! the paper's sense are graphs with arbitrary positive integer weights, and
@@ -47,7 +50,9 @@ pub mod apsp;
 mod error;
 pub mod generators;
 mod graph;
+pub mod mutate;
 pub mod shortest_path;
 
 pub use error::GraphError;
 pub use graph::{EdgeRef, Graph, GraphBuilder, Port, VertexId, Weight, INFINITY};
+pub use mutate::{ChurnEvent, Mutation, MutationError, MutationStats};

@@ -22,8 +22,10 @@ mod error;
 pub mod eval;
 pub mod scheme;
 pub mod simulator;
+pub mod stale;
 pub mod stats;
 
 pub use error::RouteError;
 pub use scheme::{Decision, HeaderSize, RoutingScheme};
 pub use simulator::{simulate, simulate_with_ttl, RouteOutcome};
+pub use stale::{route_pairs_lossy, sample_alive_pairs, FailureBreakdown, ResilienceReport};

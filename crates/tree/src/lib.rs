@@ -1,12 +1,27 @@
-//! Tree routing in the fixed-port model (Lemma 3 of the paper, following
-//! Thorup–Zwick and Fraigniaud–Gavoille).
+//! Tree routing in the fixed-port model — **Lemma 3** of Roditty & Tov
+//! (PODC 2015), following Thorup–Zwick (SPAA'01) and Fraigniaud–Gavoille.
 //!
-//! Given a rooted tree `T` that is a subgraph of the host graph, the scheme
-//! assigns every tree vertex a constant number of `O(log n)`-bit words of
-//! *local* routing information and every tree vertex an `O(log^2 n / log log n)`-bit
-//! *label*, such that a message can be routed from any tree vertex to any
-//! other along the unique tree path using only the local information of the
-//! current vertex and the destination's label.
+//! Lemma 3 (as used by the paper): *for every tree `T` there is a labeled
+//! routing scheme that, given the label of a destination, routes on `T`
+//! along the unique tree path, where every vertex stores `O(1)` words of
+//! routing information and labels are `O(log² n / log log n)` bits.*
+//!
+//! Concretely: given a rooted tree `T` that is a subgraph of the host
+//! graph, the scheme assigns every tree vertex a constant number of
+//! `O(log n)`-bit words of *local* routing information ([`TreeNodeInfo`])
+//! and an `O(log² n / log log n)`-bit *label* ([`TreeLabel`]), such that a
+//! message can be routed from any tree vertex to any other along the unique
+//! tree path using only the local information of the current vertex and the
+//! destination's label.
+//!
+//! Lemma 3 is the workhorse the whole paper leans on: the Lemma 7/8
+//! techniques in `routing-core` finish every route by switching into a
+//! shortest-path-tree or cluster-tree segment routed with exactly this
+//! scheme, and the Thorup–Zwick baseline in `routing-baselines` routes
+//! inside every cluster `C(w)` the same way. Both embed copies of
+//! [`TreeNodeInfo`]/[`TreeLabel`] into their own tables and labels and call
+//! [`tree_route_step`] directly, which is why the per-vertex structures are
+//! public.
 //!
 //! The construction is the classic heavy-path one:
 //!

@@ -1,18 +1,33 @@
 //! Vertex vicinities, hitting sets, colorings, and Thorup–Zwick centers —
 //! the combinatorial substrates of Section 2 of Roditty & Tov (PODC 2015).
 //!
-//! * [`balls`] — the vicinity `B(u, ℓ)` of every vertex plus the Lemma 2
-//!   ball router (store the first edge of a shortest path to each of the `ℓ`
-//!   closest vertices; Property 1 makes hop-by-hop forwarding correct).
-//! * [`hitting`] — Lemma 5: a set of size `Õ(n/s)` hitting every given set
-//!   of size ≥ `s`, with both a deterministic greedy and a randomized
-//!   construction.
-//! * [`coloring`] — Lemma 6: a `q`-coloring of `V` such that every given
-//!   (large enough) set contains every color, and color classes stay
-//!   balanced.
-//! * [`centers`] — Lemma 4: a landmark set `A` such that every cluster
-//!   `C_A(w)` has at most `4n/s` vertices, plus bunches, clusters, and the
-//!   nearest-landmark data (`p_A(v)`, `d(v, A)`).
+//! Each module implements one numbered lemma of the paper:
+//!
+//! * [`balls`] — **Property 1 / Lemma 2** (ball routing). The vicinity
+//!   `B(u, ℓ)` is the set of the `ℓ` vertices closest to `u` (ties broken
+//!   by vertex id, the paper's lexicographic rule). Property 1: if
+//!   `v ∈ B(u, ℓ)` then `v ∈ B(w, ℓ)` for every `w` on a shortest `u–v`
+//!   path — so storing, at every vertex, the first-hop port of a shortest
+//!   path to each of its `ℓ` closest vertices (`3ℓ` words) suffices to
+//!   forward hop-by-hop inside a vicinity on exact shortest paths
+//!   ([`BallTable`], [`BallRoutingScheme`]).
+//! * [`hitting`] — **Lemma 5** (hitting sets). For any collection of sets
+//!   each of size ≥ `s`, a set of size `Õ(n/s)` hitting all of them exists;
+//!   both the deterministic greedy set-cover construction and the
+//!   randomized sample-and-patch construction are provided
+//!   ([`hitting_set_greedy`], [`hitting_set_random`]). The schemes hit the
+//!   vicinities `B(u, q̃)` to obtain their temporary-target sets.
+//! * [`coloring`] — **Lemma 6** (colorings). A `q`-coloring of `V` such
+//!   that every given (large enough) set contains every color and the color
+//!   classes stay balanced ([`Coloring`]); Theorem 10's scheme uses it to
+//!   split `V` into `q` color classes that every big vicinity intersects.
+//! * [`centers`] — **Lemma 4** (Thorup–Zwick centers, from STOC'01). A
+//!   landmark set `A` of expected size `Õ(n/s)` such that every cluster
+//!   `C_A(w) = {v : d(w, v) < d(v, A)}` has at most `4n/s` vertices
+//!   ([`sample_centers_bounded`]), plus the derived bunches
+//!   `B(v) = {w : d(v, w) < d(v, A)}`, clusters, and nearest-landmark data
+//!   `(p_A(v), d(v, A))` ([`Landmarks`]). These drive the `(5+ε)` scheme of
+//!   Theorem 11 and the Thorup–Zwick baselines.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let full = ExactScheme::build(&g);
 
     println!("{:<28} {:>10} {:>12} {:>10} {:>10}", "scheme", "max table", "mean table", "max str", "mean str");
-    let mut show = |name: &str, report: routing_model::eval::EvalReport| {
+    let show = |name: &str, report: routing_model::eval::EvalReport| {
         println!(
             "{:<28} {:>10} {:>12.1} {:>10.3} {:>10.3}",
             name,

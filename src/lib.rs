@@ -17,6 +17,8 @@
 //!   (Theorems 10, 11, 13, 15, 16 plus the `(3+ε)` warm-up).
 //! * [`baselines`] — Thorup–Zwick compact routing and distance oracles,
 //!   exact routing, and greedy spanners, used as comparison points.
+//! * [`churn`] — dynamic-churn workloads: seeded churn schedules, stale-table
+//!   degradation measurement, and rebuild policies with cost accounting.
 //!
 //! # Example
 //!
@@ -38,6 +40,7 @@
 #![forbid(unsafe_code)]
 
 pub use routing_baselines as baselines;
+pub use routing_churn as churn;
 pub use routing_core as core;
 pub use routing_graph as graph;
 pub use routing_model as model;
@@ -46,6 +49,9 @@ pub use routing_vicinity as vicinity;
 
 /// Convenient re-exports of the items most applications need.
 pub mod prelude {
+    pub use routing_churn::{
+        run_churn, ChurnExperimentConfig, ChurnPlanConfig, RebuildPolicy, RemovalMode,
+    };
     pub use routing_core::{BuildError, Params, SchemeThreePlusEps};
     pub use routing_graph::generators;
     pub use routing_graph::{Graph, GraphBuilder, VertexId, Weight};

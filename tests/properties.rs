@@ -4,9 +4,11 @@
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use routing_churn::{ChurnPlan, ChurnPlanConfig, RemovalMode};
 use routing_core::{Params, SchemeFivePlusEps, SchemeThreePlusEps};
 use routing_graph::apsp::DistanceMatrix;
 use routing_graph::generators::{self, WeightModel};
+use routing_graph::mutate::apply_events;
 use routing_graph::shortest_path::dijkstra;
 use routing_graph::{Graph, VertexId};
 use routing_model::simulate;
@@ -95,6 +97,81 @@ proptest! {
                 let d = exact.dist(u, v).unwrap();
                 prop_assert!(out.weight as f64 <= (5.0 + 3.0 * eps) * d as f64 + 1e-9);
             }
+        }
+    }
+
+    /// CSR invariants of a churned graph: every adjacency entry is
+    /// port-consistent and symmetric with identical weights in both
+    /// directions, and no surviving edge dangles into a dead vertex.
+    #[test]
+    fn churned_graph_preserves_csr_invariants(
+        (g, seed) in arb_graph(),
+        remove_pct in 0usize..30,
+        mode_idx in 0usize..3,
+    ) {
+        let cfg = ChurnPlanConfig {
+            rounds: 3,
+            remove_frac: remove_pct as f64 / 100.0,
+            add_frac: 0.5,
+            edge_remove_frac: 0.05,
+            edge_add_frac: 0.05,
+            mode: RemovalMode::ALL[mode_idx],
+            seed,
+        };
+        let plan = ChurnPlan::generate(&g, &cfg);
+        let mut graph = g.clone();
+        let mut alive: Vec<bool> = vec![true; g.n()];
+        for round in &plan.rounds {
+            let m = apply_events(&graph, Some(&alive), round).unwrap();
+            graph = m.graph;
+            alive = m.alive;
+
+            prop_assert_eq!(graph.n(), alive.len());
+            let mut directed_entries = 0usize;
+            for u in graph.vertices() {
+                // Dead vertices must be fully isolated.
+                if !alive[u.index()] {
+                    prop_assert_eq!(graph.degree(u), 0);
+                }
+                for e in graph.edges(u) {
+                    directed_entries += 1;
+                    // No dangling edges into dead vertices.
+                    prop_assert!(alive[e.to.index()], "edge ({u}, {}) dangles", e.to);
+                    prop_assert!(e.to != u, "self loop at {u}");
+                    // Port consistency: the port labelling round-trips.
+                    prop_assert_eq!(graph.port_to(u, e.to), Some(e.port));
+                    let back = graph.neighbor_at(u, e.port);
+                    prop_assert_eq!(back.to, e.to);
+                    prop_assert_eq!(back.weight, e.weight);
+                    // Symmetry with equal weights.
+                    prop_assert_eq!(graph.edge_weight(e.to, u), Some(e.weight));
+                }
+            }
+            // CSR stores each undirected edge exactly twice.
+            prop_assert_eq!(directed_entries, 2 * graph.m());
+        }
+    }
+
+    /// A zero-churn plan generates no events and applying its (empty)
+    /// rounds is the identity on the graph and the liveness mask.
+    #[test]
+    fn zero_event_churn_plan_is_identity((g, seed) in arb_graph()) {
+        let cfg = ChurnPlanConfig {
+            rounds: 2,
+            remove_frac: 0.0,
+            add_frac: 0.0,
+            edge_remove_frac: 0.0,
+            edge_add_frac: 0.0,
+            mode: RemovalMode::Random,
+            seed,
+        };
+        let plan = ChurnPlan::generate(&g, &cfg);
+        prop_assert_eq!(plan.total_events(), 0);
+        for round in &plan.rounds {
+            let m = apply_events(&g, None, round).unwrap();
+            prop_assert_eq!(&m.graph, &g);
+            prop_assert!(m.alive.iter().all(|&a| a));
+            prop_assert_eq!(m.stats.port_preservation(), 1.0);
         }
     }
 }

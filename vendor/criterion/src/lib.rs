@@ -1,0 +1,235 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the API surface this workspace's benches use — [`Criterion`],
+//! benchmark groups, [`BenchmarkId`], `Bencher::iter`, [`black_box`], and
+//! the [`criterion_group!`]/[`criterion_main!`] macros — implemented as a
+//! straightforward wall-clock timer: each benchmark is warmed up once, then
+//! run in timed batches, and the mean/min per-iteration times are printed.
+//! There is no statistical analysis, plotting, or HTML report; the numbers
+//! are honest `std::time::Instant` measurements suitable for relative
+//! comparisons within one machine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`], criterion's optimization barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level benchmark driver.
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { sample_size: 20, measurement_time: Duration::from_millis(500) }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            _criterion: self,
+        }
+    }
+
+    /// Runs one benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) -> &mut Self {
+        run_benchmark(&id.to_string(), self.sample_size, self.measurement_time, f);
+        self
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the time budget per benchmark in this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: impl fmt::Display, f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.measurement_time, f);
+        self
+    }
+
+    /// Runs one benchmark that receives a reference to `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        run_benchmark(&full, self.sample_size, self.measurement_time, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (retained for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// A benchmark identifier with a function name and a parameter.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+    param: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id of the form `name/param`.
+    pub fn new(name: impl Into<String>, param: impl fmt::Display) -> Self {
+        BenchmarkId { name: name.into(), param: param.to_string() }
+    }
+
+    /// Creates an id carrying only a parameter.
+    pub fn from_parameter(param: impl fmt::Display) -> Self {
+        BenchmarkId { name: String::new(), param: param.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.name.is_empty() {
+            write!(f, "{}", self.param)
+        } else {
+            write!(f, "{}/{}", self.name, self.param)
+        }
+    }
+}
+
+/// Passed to each benchmark closure; [`Bencher::iter`] times the payload.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher {
+    /// Times `payload`, collecting up to the configured number of samples or
+    /// until the time budget runs out, whichever comes first.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut payload: F) {
+        // One warm-up run (also primes caches and lazy statics).
+        black_box(payload());
+        let started = Instant::now();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            black_box(payload());
+            self.samples.push(t0.elapsed());
+            if started.elapsed() > self.measurement_time {
+                break;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(
+    name: &str,
+    sample_size: usize,
+    measurement_time: Duration,
+    mut f: F,
+) {
+    let mut bencher = Bencher { samples: Vec::new(), sample_size, measurement_time };
+    f(&mut bencher);
+    if bencher.samples.is_empty() {
+        println!("{name:<50} (no samples)");
+        return;
+    }
+    let total: Duration = bencher.samples.iter().sum();
+    let mean = total / bencher.samples.len() as u32;
+    let min = bencher.samples.iter().min().copied().unwrap_or_default();
+    println!(
+        "{name:<50} mean {:>12?}  min {:>12?}  ({} samples)",
+        mean,
+        min,
+        bencher.samples.len()
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trivial(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        group.bench_function("add", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &x| b.iter(|| x * x));
+        group.finish();
+    }
+
+    criterion_group!(smoke, trivial);
+
+    #[test]
+    fn harness_runs() {
+        smoke();
+        let id = BenchmarkId::new("n", 10);
+        assert_eq!(id.to_string(), "n/10");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+}

@@ -1,0 +1,266 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Supports the API surface this workspace's property tests use — the
+//! [`proptest!`] macro with `pat in strategy` bindings and a
+//! `#![proptest_config(...)]` header, [`Strategy`] with `prop_map`, range
+//! and tuple strategies, and `prop_assert!`/`prop_assert_eq!` — running each
+//! property over a deterministic, per-test seeded stream of cases instead
+//! of the real crate's shrinking engine.
+//!
+//! Differences from real proptest, by design:
+//!
+//! * cases are drawn from a fixed seed derived from the test's name, so
+//!   failures are always reproducible (there is no `PROPTEST_CASES`
+//!   environment handling and no persistence file);
+//! * there is no shrinking — the failing case's values are whatever the
+//!   assertion message shows.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+pub mod prelude;
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64, max_shrink_iters: 0 }
+    }
+}
+
+/// The deterministic generator driving each property (SplitMix64).
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Creates a generator whose stream depends only on `name` (typically
+    /// the test function's name), so every run draws the same cases.
+    pub fn deterministic(name: &str) -> Self {
+        let mut state: u64 = 0xcbf2_9ce4_8422_2325;
+        for b in name.bytes() {
+            state ^= u64::from(b);
+            state = state.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state }
+    }
+
+    /// Next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn uniform(&mut self, span: u64) -> u64 {
+        debug_assert!(span > 0);
+        self.next_u64() % span
+    }
+}
+
+/// A generator of values for one property binding (mirrors proptest's
+/// `Strategy`, without shrinking).
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn sample_value(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f` (proptest's `prop_map`).
+    fn prop_map<T, F: Fn(Self::Value) -> T>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// The strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+
+    fn sample_value(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.sample_value(rng))
+    }
+}
+
+/// A strategy that always yields a clone of one value (proptest's `Just`).
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample_value(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty strategy range");
+                let span = (self.end as u64).wrapping_sub(self.start as u64);
+                self.start.wrapping_add(rng.uniform(span) as $t)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn sample_value(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty strategy range");
+                let span = (hi as u64).wrapping_sub(lo as u64);
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(rng.uniform(span + 1) as $t)
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+
+    fn sample_value(&self, rng: &mut TestRng) -> f64 {
+        assert!(self.start < self.end, "empty strategy range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Strategy),+> Strategy for ($($t,)+) {
+            type Value = ($($t::Value,)+);
+            fn sample_value(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$n.sample_value(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+    (0 A, 1 B, 2 C, 3 D, 4 E, 5 F)
+}
+
+/// Asserts a condition inside a property (maps to `assert!`; real proptest
+/// would instead record the failure for shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($arg:tt)*) => { assert!($($arg)*) };
+}
+
+/// Asserts equality inside a property (maps to `assert_eq!`).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($arg:tt)*) => { assert_eq!($($arg)*) };
+}
+
+/// Asserts inequality inside a property (maps to `assert_ne!`).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($arg:tt)*) => { assert_ne!($($arg)*) };
+}
+
+/// Defines property tests. Each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` for every sampled case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_tests! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_tests {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($pat:pat in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::TestRng::deterministic(stringify!($name));
+            for __case in 0..__config.cases {
+                $(let $pat = $crate::Strategy::sample_value(&($strategy), &mut __rng);)*
+                $body
+            }
+        }
+        $crate::__proptest_tests! { ($cfg) $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_sample_in_bounds() {
+        let mut rng = TestRng::deterministic("ranges_sample_in_bounds");
+        for _ in 0..200 {
+            let a = (3usize..9).sample_value(&mut rng);
+            assert!((3..9).contains(&a));
+            let b = (1u64..=4).sample_value(&mut rng);
+            assert!((1..=4).contains(&b));
+        }
+    }
+
+    #[test]
+    fn tuples_and_map_compose() {
+        let strat = (0u32..10, 0u32..10).prop_map(|(a, b)| a + b);
+        let mut rng = TestRng::deterministic("tuples_and_map_compose");
+        for _ in 0..100 {
+            assert!(strat.sample_value(&mut rng) < 20);
+        }
+    }
+
+    #[test]
+    fn determinism_per_name() {
+        let mut a = TestRng::deterministic("x");
+        let mut b = TestRng::deterministic("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        /// The macro itself: bindings, config, and prop_assert all work.
+        #[test]
+        fn macro_smoke(x in 0usize..50, (lo, hi) in (0u64..10, 10u64..20)) {
+            prop_assert!(x < 50);
+            prop_assert!(lo < hi);
+            prop_assert_eq!(x, x);
+        }
+    }
+}

@@ -1,0 +1,6 @@
+//! Common imports, mirroring `proptest::prelude`.
+
+pub use crate::{
+    prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, Map, ProptestConfig, Strategy,
+    TestRng,
+};

@@ -1,0 +1,48 @@
+//! Sequence-related sampling helpers (`SliceRandom`).
+
+use crate::{Rng, SampleRange};
+
+/// Extension methods for slices: random element choice and in-place
+/// Fisher–Yates shuffling.
+pub trait SliceRandom {
+    /// The element type of the sequence.
+    type Item;
+
+    /// Returns a uniformly chosen reference, or `None` for an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+    /// Returns a uniformly chosen mutable reference, or `None` for an empty
+    /// slice.
+    fn choose_mut<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<&mut Self::Item>;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get((0..self.len()).sample_range(rng))
+        }
+    }
+
+    fn choose_mut<R: Rng + ?Sized>(&mut self, rng: &mut R) -> Option<&mut T> {
+        if self.is_empty() {
+            None
+        } else {
+            let i = (0..self.len()).sample_range(rng);
+            self.get_mut(i)
+        }
+    }
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = (0..=i).sample_range(rng);
+            self.swap(i, j);
+        }
+    }
+}

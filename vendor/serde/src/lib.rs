@@ -1,0 +1,207 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the subset of serde this workspace uses: the [`Serialize`] /
+//! [`Deserialize`] traits usable in `#[derive(...)]` position, backed by a
+//! small self-describing [`Value`] data model instead of serde's
+//! serializer-visitor machinery. The companion `serde_json` stand-in renders
+//! a [`Value`] as JSON text.
+//!
+//! The derive macros live in the `serde_derive` proc-macro crate and are
+//! re-exported here, so `use serde::{Serialize, Deserialize}` works exactly
+//! as with the real crate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::BTreeMap;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// A self-describing serialized value (the union of everything JSON can
+/// express).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null` (also used for `None`).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    UInt(u64),
+    /// A floating-point number.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array of values.
+    Seq(Vec<Value>),
+    /// An object: ordered field-name/value pairs.
+    Map(Vec<(String, Value)>),
+}
+
+/// Types that can be converted into a [`Value`].
+///
+/// This replaces serde's `Serialize` trait; `#[derive(Serialize)]` generates
+/// an implementation that maps structs to [`Value::Map`], newtype structs to
+/// their transparent inner value, tuple structs to [`Value::Seq`], and enums
+/// to the externally tagged representation serde_json uses.
+pub trait Serialize {
+    /// Converts `self` into the serialized data model.
+    fn to_value(&self) -> Value;
+}
+
+/// Marker trait mirroring serde's `Deserialize`.
+///
+/// Deserialization is not exercised anywhere in this workspace; the derive
+/// macro emits an empty implementation so that `#[derive(Deserialize)]`
+/// compiles and trait bounds of the form `T: Deserialize` can be written.
+pub trait Deserialize {}
+
+macro_rules! impl_serialize_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::UInt(*self as u64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_serialize_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value { Value::Int(*self as i64) }
+        }
+        impl Deserialize for $t {}
+    )*};
+}
+impl_serialize_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+impl Deserialize for f64 {}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+impl Deserialize for f32 {}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+impl Deserialize for bool {}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+impl Deserialize for String {}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+impl Deserialize for char {}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+impl<T: Deserialize> Deserialize for Option<T> {}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+impl<T: Deserialize> Deserialize for Vec<T> {}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: ToString, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Map(self.iter().map(|(k, v)| (k.to_string(), v.to_value())).collect())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($n:tt $t:ident),+))*) => {$(
+        impl<$($t: Serialize),+> Serialize for ($($t,)+) {
+            fn to_value(&self) -> Value {
+                Value::Seq(vec![$(self.$n.to_value()),+])
+            }
+        }
+        impl<$($t: Deserialize),+> Deserialize for ($($t,)+) {}
+    )*};
+}
+impl_serialize_tuple! {
+    (0 A)
+    (0 A, 1 B)
+    (0 A, 1 B, 2 C)
+    (0 A, 1 B, 2 C, 3 D)
+    (0 A, 1 B, 2 C, 3 D, 4 E)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitive_values() {
+        assert_eq!(3u32.to_value(), Value::UInt(3));
+        assert_eq!((-2i64).to_value(), Value::Int(-2));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!("x".to_value(), Value::Str("x".into()));
+    }
+
+    #[test]
+    fn containers() {
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+        assert_eq!(Some(1u32).to_value(), Value::UInt(1));
+        assert_eq!(
+            vec![1u32, 2].to_value(),
+            Value::Seq(vec![Value::UInt(1), Value::UInt(2)])
+        );
+        assert_eq!(
+            (1u32, "a").to_value(),
+            Value::Seq(vec![Value::UInt(1), Value::Str("a".into())])
+        );
+    }
+}
