@@ -1,6 +1,22 @@
 //! Exact shortest-path routing with full tables: every vertex stores the
 //! next-hop port towards every destination. Stretch 1, `Θ(n)` words per
 //! vertex — the ground-truth extreme of the space/stretch trade-off.
+//!
+//! This is the scheme the compact-routing lower bounds are measured
+//! against: Peleg–Upfal showed stretch-1 routing *requires* `Ω(n)`-bit
+//! tables on some graphs, which is why every scheme in `routing-core`
+//! trades a bounded stretch (`1+ε` inside the Lemma 7/8 structures, `2+ε`
+//! to `5+ε` end-to-end) for sublinear `Õ(n^x)` tables. In the experiment
+//! harness this scheme plays two roles: the stretch-1.0 / `Θ(n)`-words
+//! anchor row of the Table 1 comparison, and the "oracle operator" in the
+//! churn experiments — the deliverability of freshly rebuilt full tables is
+//! the ceiling any compact scheme's rebuild can reach.
+//!
+//! Next hops are derived from the shortest-path tree of each destination
+//! (parent pointers with the paper's `(distance, id)` tie-breaking), so the
+//! routed paths are exactly the trees every other scheme's stretch is
+//! measured against. The `n` per-destination Dijkstra runs fan out over
+//! [`routing_par::threads`] worker threads.
 
 use routing_graph::shortest_path::dijkstra;
 use routing_graph::{Graph, Port, VertexId};
@@ -16,21 +32,29 @@ pub struct ExactScheme {
 }
 
 impl ExactScheme {
-    /// Preprocesses full routing tables with `n` Dijkstra runs.
+    /// Preprocesses full routing tables with `n` Dijkstra runs, fanned out
+    /// over [`routing_par::threads`] threads.
     pub fn build(g: &Graph) -> Self {
         let n = g.n();
-        let mut next = vec![vec![None; n]; n];
-        for v in g.vertices() {
+        // Column v of the table comes from the tree rooted at v: the parent
+        // of u in that tree is the next hop on a shortest path from u to v.
+        let columns: Vec<Vec<Option<Port>>> = routing_par::par_map_index(n, |v| {
+            let v = VertexId(v as u32);
             let spt = dijkstra(g, v);
-            for u in g.vertices() {
-                if u == v {
-                    continue;
-                }
-                // The parent of u in the tree rooted at v is the next hop on
-                // a shortest path from u to v.
-                if let Some(p) = spt.parent(u) {
-                    next[u.index()][v.index()] = g.port_to(u, p);
-                }
+            g.vertices()
+                .map(|u| {
+                    if u == v {
+                        None
+                    } else {
+                        spt.parent(u).and_then(|p| g.port_to(u, p))
+                    }
+                })
+                .collect()
+        });
+        let mut next = vec![vec![None; n]; n];
+        for (v, column) in columns.into_iter().enumerate() {
+            for u in 0..n {
+                next[u][v] = column[u];
             }
         }
         ExactScheme { n, next }

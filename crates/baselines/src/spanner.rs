@@ -1,6 +1,25 @@
-//! The greedy `(2k−1)`-spanner (Althöfer et al.), included because the
-//! paper's introduction frames spanners, distance oracles and routing
-//! schemes as three views of the same stretch/space trade-off.
+//! The greedy `(2k−1)`-spanner (Althöfer–Das–Dobkin–Joseph–Soares, 1993),
+//! included because the paper's introduction frames spanners, distance
+//! oracles and routing schemes as three views of the same stretch/space
+//! trade-off governed by the girth conjecture:
+//!
+//! * a `(2k−1)`-**spanner** with `O(n^{1+1/k})` edges (this module),
+//! * a `(2k−1)`-stretch **distance oracle** with `O(k·n^{1+1/k})` space
+//!   (Thorup–Zwick \[22\], [`crate::tz::TzOracle`]),
+//! * a `(4k−5)`-stretch **compact routing scheme** with `Õ(n^{1/k})`-word
+//!   tables (Thorup–Zwick \[21\], [`crate::tz::TzRoutingScheme`]) — the
+//!   prior art whose stretch the paper's Theorems 10 and 11 beat at equal
+//!   space.
+//!
+//! The greedy construction is the classic generalization of Kruskal's
+//! algorithm: scan edges by non-decreasing weight and keep an edge `(u, v)`
+//! only if the spanner built so far has no `u`–`v` path of weight at most
+//! `(2k−1)·w(u, v)`. Every kept edge therefore closes no cycle of length
+//! `≤ 2k`, so the result has girth `> 2k`, and by the Bondy–Simonovits
+//! bound any graph with `Ω(n^{1+1/k})` edges contains such a cycle — which
+//! is what caps the spanner at `O(n^{1+1/k})` edges. The stretch bound is
+//! immediate: a discarded edge is certified by a `(2k−1)`-approximate
+//! detour, and shortest paths compose such certificates edge by edge.
 
 use routing_graph::shortest_path::dijkstra;
 use routing_graph::{Graph, GraphBuilder};

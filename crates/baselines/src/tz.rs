@@ -5,6 +5,42 @@
 //! These are the baselines of the paper's Table 1 (`k=2` gives the 3-stretch
 //! `Õ(√n)`-space routing scheme, `k=3` the 7-stretch `Õ(n^{1/3})`-space
 //! scheme) and the substrate reused by Theorem 16.
+//!
+//! # Construction
+//!
+//! For parameter `k ≥ 2` the hierarchy samples nested levels
+//! `A_0 = V ⊇ A_1 ⊇ ... ⊇ A_{k-1}`, each from the previous with probability
+//! `n^{-1/k}` — except `A_1`, which is chosen with **Lemma 4 of the host
+//! paper** ([`routing_vicinity::sample_centers_bounded`]) so that every
+//! level-0 cluster has `O(n^{1/k})` vertices deterministically; this is the
+//! very observation Roditty & Tov cite for turning the generic `4k−3`
+//! routing stretch into `4k−5`. Every vertex `v` then stores
+//!
+//! * its **pivots** `p_i(v)` — the nearest `A_i`-vertex, with ties broken
+//!   towards the higher level so `v ∈ C(p_i(v))` always holds (the "tie
+//!   inheritance" rule of TZ §3), and
+//! * its **bunch** `B(v) = ⋃_i {w ∈ A_i \ A_{i+1} : d(v, w) < d(v, A_{i+1})}`,
+//!   of expected size `O(k·n^{1/k})`,
+//!
+//! and every `w` a **cluster tree** `T_{C(w)}` over
+//! `C(w) = {v : d(w, v) < d(v, A_{level(w)+1})}` — the inverse of the bunch
+//! relation (`v ∈ C(w) ⇔ w ∈ B(v)`) — routed with the Lemma 3 tree scheme
+//! (`routing-tree`).
+//!
+//! # Routing and querying
+//!
+//! The routing scheme walks the pivot ladder: try `w = p_0(v), p_1(v), ...`
+//! until the current vertex's bunch certifies `u ∈ C(w)` (TZ prove the
+//! ladder stops within distance `(2i+1)·d(u, v)` at level `i`), then
+//! finishes on the cluster tree `T_{C(w)}` using the tree label embedded in
+//! `v`'s label. The distance oracle answers from bunches alone with the
+//! classic ping-pong scan, returning `d̂(u, v) ≤ (2k−1)·d(u, v)` in `O(k)`
+//! time.
+//!
+//! Preprocessing fans its `n` restricted cluster searches (the dominant
+//! cost) out over [`routing_par::threads`] worker threads; sampling stays on
+//! the caller's thread, so the built hierarchy is bit-identical for every
+//! thread count.
 
 use std::collections::{HashMap, HashSet};
 
@@ -97,22 +133,31 @@ impl TzHierarchy {
         }
 
         // Clusters (and their trees) with respect to each vertex's level, and
-        // the bunches obtained by inverting them.
+        // the bunches obtained by inverting them. One restricted search plus
+        // one heavy-path decomposition per vertex — the dominant cost of the
+        // build — fanned out in parallel; the bunch inversion below merges in
+        // ascending `w` order, so the hierarchy is thread-count independent.
+        let per_w: Vec<(Vec<(VertexId, Weight)>, TreeScheme)> =
+            routing_par::par_map_index(n, |w| {
+                let w = VertexId(w as u32);
+                let lvl = level_of[w.index()];
+                let bound: Vec<Weight> = if lvl + 1 < k {
+                    g.vertices().map(|v| pivots[lvl + 1][v.index()].1).collect()
+                } else {
+                    vec![INFINITY; n]
+                };
+                let restricted = cluster_dijkstra(g, w, &bound);
+                let tree = TreeScheme::from_restricted(g, &restricted)
+                    .expect("restricted tree of a connected component is valid");
+                (restricted.members().to_vec(), tree)
+            });
         let mut cluster_trees = HashMap::with_capacity(n);
         let mut bunches: Vec<Vec<(VertexId, Weight)>> = vec![Vec::new(); n];
-        for w in g.vertices() {
-            let lvl = level_of[w.index()];
-            let bound: Vec<Weight> = if lvl + 1 < k {
-                g.vertices().map(|v| pivots[lvl + 1][v.index()].1).collect()
-            } else {
-                vec![INFINITY; n]
-            };
-            let restricted = cluster_dijkstra(g, w, &bound);
-            for &(v, d) in restricted.members() {
+        for (w, (members, tree)) in per_w.into_iter().enumerate() {
+            let w = VertexId(w as u32);
+            for (v, d) in members {
                 bunches[v.index()].push((w, d));
             }
-            let tree = TreeScheme::from_restricted(g, &restricted)
-                .expect("restricted tree of a connected component is valid");
             cluster_trees.insert(w, tree);
         }
         for bunch in &mut bunches {

@@ -22,6 +22,8 @@
 //! | `--edge-remove-frac <F>` | 0.02 | fraction of surviving edges failed per round |
 //! | `--edge-add-frac <F>` | 0.02 | new random edges per round (fraction of current edges) |
 //! | `--pairs <P>` | 2000 | routed pairs sampled per round |
+//! | `--sources <K>` | 0 | cap on distinct pair sources per round (0 = uniform pairs); set e.g. 128 for `n ≥ 10,000` so each round's ground truth costs `K` parallel Dijkstras |
+//! | `--threads <T>` | 0 | preprocessing/ground-truth threads (0 = all hardware threads) |
 //! | `--epsilon <E>` | 0.5 | stretch slack for the paper's schemes |
 //! | `--seed <S>` | 7 | master seed (schedules and pair samples derive from it) |
 //! | `--schemes <LIST>` | `tz2,warmup,thm11` | comma list of `tz2`, `tz3`, `warmup`, `thm10`, `thm11`, `exact` |
@@ -61,6 +63,8 @@ struct Options {
     edge_remove_frac: f64,
     edge_add_frac: f64,
     pairs: usize,
+    sources: usize,
+    threads: usize,
     epsilon: f64,
     seed: u64,
     schemes: Vec<String>,
@@ -80,6 +84,8 @@ impl Default for Options {
             edge_remove_frac: 0.02,
             edge_add_frac: 0.02,
             pairs: 2000,
+            sources: 0,
+            threads: 0,
             epsilon: 0.5,
             seed: 7,
             schemes: vec!["tz2".into(), "warmup".into(), "thm11".into()],
@@ -115,6 +121,9 @@ OPTIONS:
   --edge-remove-frac <F>  surviving edges failed per round      [default: 0.02]
   --edge-add-frac <F>     new edges per round                   [default: 0.02]
   --pairs <P>             routed pairs sampled per round        [default: 2000]
+  --sources <K>           distinct pair sources per round
+                          (0 = uniform pairs)                   [default: 0]
+  --threads <T>           worker threads (0 = all hardware)     [default: 0]
   --epsilon <E>           epsilon of the paper's schemes        [default: 0.5]
   --seed <S>              master seed                           [default: 7]
   --schemes <LIST>        tz2,tz3,warmup,thm10,thm11,exact      [default: tz2,warmup,thm11]
@@ -165,6 +174,12 @@ fn parse_options() -> Options {
                 opts.edge_add_frac = value.parse().unwrap_or_else(|_| bad("expected a float"))
             }
             "--pairs" => opts.pairs = value.parse().unwrap_or_else(|_| bad("expected an integer")),
+            "--sources" => {
+                opts.sources = value.parse().unwrap_or_else(|_| bad("expected an integer"))
+            }
+            "--threads" => {
+                opts.threads = value.parse().unwrap_or_else(|_| bad("expected an integer"))
+            }
             "--epsilon" => opts.epsilon = value.parse().unwrap_or_else(|_| bad("expected a float")),
             "--seed" => opts.seed = value.parse().unwrap_or_else(|_| bad("expected an integer")),
             "--schemes" => {
@@ -306,10 +321,13 @@ fn print_summary(results: &[ChurnRunResult]) {
 
 fn main() {
     let opts = parse_options();
+    let threads =
+        if opts.threads == 0 { routing_par::available_threads() } else { opts.threads };
+    routing_par::set_threads(threads);
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let base = opts.family.generate(opts.n, WeightModel::Unit, &mut rng);
     println!(
-        "base instance: family={} n={} m={} | rounds={} remove={:.0}% add={:.0}% pairs={} seed={}",
+        "base instance: family={} n={} m={} | rounds={} remove={:.0}% add={:.0}% pairs={} seed={} threads={}",
         opts.family.name(),
         base.n(),
         base.m(),
@@ -318,6 +336,7 @@ fn main() {
         100.0 * opts.add_frac,
         opts.pairs,
         opts.seed,
+        threads,
     );
 
     let mut results: Vec<ChurnRunResult> = Vec::new();
@@ -337,6 +356,7 @@ fn main() {
             for &policy in &opts.policies {
                 let cfg = ChurnExperimentConfig {
                     pairs_per_round: opts.pairs,
+                    sources_per_round: opts.sources,
                     policy,
                     seed: opts.seed ^ 0xa11ce,
                 };

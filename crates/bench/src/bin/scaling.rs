@@ -1,67 +1,379 @@
-//! Experiment E-SCALE: table-size scaling exponents. For a sweep of `n`,
-//! measure the maximum per-vertex table size of each scheme and report
-//! `max / n^x` for the paper's claimed exponent `x` — flat normalized
-//! columns confirm the claimed `Õ(n^x)` shape.
+//! Experiment E-SCALE: preprocessing scalability and table-size scaling.
 //!
-//! Run with: `cargo run -p routing-bench --release --bin scaling [n1 n2 ...]`
+//! For a sweep of `n` the harness, per scheme:
+//!
+//! 1. builds the scheme **twice from the same seed** — once with one worker
+//!    thread and once with `--threads` workers — and reports both wall-clock
+//!    times and their ratio (the parallel speedup of the preprocessing
+//!    phase);
+//! 2. checks the two builds are **identical** (per-vertex table and label
+//!    words, plus every routed weight of the shared pair sample must match —
+//!    parallelism must never change what gets built, only how fast);
+//! 3. measures stretch over `--sample-pairs` pairs against the
+//!    [`routing_graph::SampledDistances`] ground truth (`--sample-sources`
+//!    exact source rows, `O(k·n)` memory), so the sweep runs at
+//!    `n = 10,000+` where the dense `O(n^2)` matrix no longer fits the
+//!    budget;
+//! 4. reports the maximum per-vertex table size normalized by the paper's
+//!    claimed exponent `Õ(n^x)` — flat normalized columns across the sweep
+//!    confirm the claimed shape.
+//!
+//! Run with: `cargo run -p routing-bench --release --bin scaling -- [OPTIONS]`
+//!
+//! # Options
+//!
+//! | flag | default | meaning |
+//! |------|---------|---------|
+//! | `--n <LIST>` | `1000` | comma list of vertex counts, e.g. `1000,5000,10000` |
+//! | `--threads <T>` | 0 | parallel worker count compared against 1 (0 = all hardware threads) |
+//! | `--sample-pairs <P>` | 1000 | routed pairs per scheme for the stretch measurement |
+//! | `--sample-sources <K>` | 64 | exact ground-truth source rows |
+//! | `--schemes <LIST>` | `tz2,warmup,thm11` | comma list of `tz2`, `tz3`, `warmup`, `thm10`, `thm11` |
+//! | `--family <F>` | `erdos-renyi` | `erdos-renyi`, `geometric`, `grid`, or `scale-free` |
+//! | `--epsilon <E>` | 0.25 | stretch slack of the paper's schemes |
+//! | `--seed <S>` | 13 | master seed (graphs, builds and pair samples derive from it) |
+//! | `--json <PATH>` | — | also write every row as a JSON array |
+//! | `--help` | — | print this table |
+
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use routing_baselines::TzRoutingScheme;
-use routing_core::{SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
+use routing_core::{Params, SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
 use routing_graph::generators::{Family, WeightModel};
-use routing_model::RoutingScheme;
+use routing_graph::{Graph, SampledDistances, VertexId};
+use routing_model::eval::{evaluate_pairs, select_pairs_anchored};
+use routing_model::{simulate, RoutingScheme};
+use serde::Serialize;
+
+const SCHEME_NAMES: [&str; 5] = ["tz2", "tz3", "warmup", "thm10", "thm11"];
+
+struct Options {
+    sizes: Vec<usize>,
+    threads: usize,
+    sample_pairs: usize,
+    sample_sources: usize,
+    schemes: Vec<String>,
+    family: Family,
+    epsilon: f64,
+    seed: u64,
+    json: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            sizes: vec![1000],
+            threads: 0,
+            sample_pairs: 1000,
+            sample_sources: 64,
+            schemes: vec!["tz2".into(), "warmup".into(), "thm11".into()],
+            family: Family::ErdosRenyi,
+            epsilon: 0.25,
+            seed: 13,
+            json: None,
+        }
+    }
+}
+
+/// One (n × scheme) measurement row.
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    scheme: String,
+    n: usize,
+    m: usize,
+    threads: usize,
+    /// Preprocessing wall-clock with 1 worker thread, milliseconds.
+    build_seq_ms: f64,
+    /// Preprocessing wall-clock with `threads` workers, milliseconds.
+    build_par_ms: f64,
+    /// `build_seq_ms / build_par_ms`.
+    speedup: f64,
+    /// Whether the two builds were identical (tables, labels, and every
+    /// routed weight).
+    identical: bool,
+    /// Largest per-vertex table, in words.
+    table_max: usize,
+    /// Mean per-vertex table, in words.
+    table_mean: f64,
+    /// The paper's claimed space exponent for this scheme.
+    exponent: f64,
+    /// `table_max / n^exponent` — flat across the sweep confirms the shape.
+    normalized: f64,
+    /// Mean multiplicative stretch over the sampled pairs.
+    stretch_mean: f64,
+    /// Max multiplicative stretch over the sampled pairs.
+    stretch_max: f64,
+}
+
+fn usage() -> ! {
+    print_usage();
+    std::process::exit(2)
+}
+
+fn print_usage() {
+    // Keep this text in sync with the module doc table above and README.md.
+    eprintln!(
+        "scaling — preprocessing scalability and table-size scaling
+
+USAGE: scaling [OPTIONS]
+
+OPTIONS:
+  --n <LIST>              comma list of vertex counts            [default: 1000]
+  --threads <T>           workers compared against 1
+                          (0 = all hardware threads)             [default: 0]
+  --sample-pairs <P>      routed pairs per scheme                [default: 1000]
+  --sample-sources <K>    exact ground-truth source rows         [default: 64]
+  --schemes <LIST>        tz2,tz3,warmup,thm10,thm11             [default: tz2,warmup,thm11]
+  --family <F>            erdos-renyi|geometric|grid|scale-free  [default: erdos-renyi]
+  --epsilon <E>           epsilon of the paper's schemes         [default: 0.25]
+  --seed <S>              master seed                            [default: 13]
+  --json <PATH>           write all rows as a JSON array
+  --help                  show this help"
+    );
+}
+
+fn parse_options() -> Options {
+    let mut opts = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        if flag == "--help" || flag == "-h" {
+            print_usage();
+            std::process::exit(0);
+        }
+        let Some(value) = args.next() else {
+            eprintln!("missing value for {flag}");
+            usage();
+        };
+        let bad = |what: &str| -> ! {
+            eprintln!("invalid value {value:?} for {flag}: {what}");
+            usage();
+        };
+        match flag.as_str() {
+            "--n" => {
+                opts.sizes = value
+                    .split(',')
+                    .map(|s| s.parse().unwrap_or_else(|_| bad("expected integers")))
+                    .collect();
+                if opts.sizes.is_empty() {
+                    bad("expected at least one size");
+                }
+            }
+            "--threads" => {
+                opts.threads = value.parse().unwrap_or_else(|_| bad("expected an integer"))
+            }
+            "--sample-pairs" => {
+                opts.sample_pairs = value.parse().unwrap_or_else(|_| bad("expected an integer"))
+            }
+            "--sample-sources" => {
+                opts.sample_sources =
+                    value.parse::<usize>().unwrap_or_else(|_| bad("expected an integer")).max(1)
+            }
+            "--schemes" => {
+                opts.schemes = value.split(',').map(str::to_string).collect();
+                for s in &opts.schemes {
+                    if !SCHEME_NAMES.contains(&s.as_str()) {
+                        bad("unknown scheme");
+                    }
+                }
+            }
+            "--family" => {
+                opts.family = match value.as_str() {
+                    "erdos-renyi" => Family::ErdosRenyi,
+                    "geometric" => Family::Geometric,
+                    "grid" => Family::Grid,
+                    "scale-free" => Family::ScaleFree,
+                    _ => bad("unknown family"),
+                }
+            }
+            "--epsilon" => opts.epsilon = value.parse().unwrap_or_else(|_| bad("expected a float")),
+            "--seed" => opts.seed = value.parse().unwrap_or_else(|_| bad("expected an integer")),
+            "--json" => opts.json = Some(value),
+            _ => {
+                eprintln!("unknown flag {flag}");
+                usage();
+            }
+        }
+    }
+    opts
+}
+
+/// Builds `build()` twice from identical state — sequentially and with
+/// `threads` workers — times both, verifies the results are identical, and
+/// measures stretch of the parallel build over the shared `pairs`.
+fn measure<S, F>(
+    label: &str,
+    exponent: f64,
+    g: &Graph,
+    oracle: &SampledDistances,
+    pairs: &[(VertexId, VertexId)],
+    threads: usize,
+    build: F,
+) -> Row
+where
+    S: RoutingScheme,
+    F: Fn() -> S,
+{
+    routing_par::set_threads(1);
+    let t = Instant::now();
+    let seq = build();
+    let build_seq_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    routing_par::set_threads(threads);
+    let t = Instant::now();
+    let par = build();
+    let build_par_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Identity check: parallelism must not change the scheme. Schemes do not
+    // expose raw table bytes, so compare everything observable — per-vertex
+    // table and label word counts, and the weight and hop count of every
+    // routed pair, pair by pair.
+    let words_match = g.vertices().all(|v| {
+        seq.table_words(v) == par.table_words(v) && seq.label_words(v) == par.label_words(v)
+    });
+    let routes_match = pairs.iter().all(|&(u, v)| {
+        let a = simulate(g, &seq, u, v).expect("scheme routes its own graph");
+        let b = simulate(g, &par, u, v).expect("scheme routes its own graph");
+        a.weight == b.weight && a.hops == b.hops
+    });
+    let identical = words_match && routes_match;
+    let par_eval = evaluate_pairs(g, &par, oracle, pairs).expect("scheme routes its own graph");
+
+    Row {
+        scheme: label.to_string(),
+        n: g.n(),
+        m: g.m(),
+        threads,
+        build_seq_ms,
+        build_par_ms,
+        speedup: build_seq_ms / build_par_ms.max(1e-9),
+        identical,
+        table_max: par_eval.table.max(),
+        table_mean: par_eval.table.mean(),
+        exponent,
+        normalized: par_eval.table.max() as f64 / (g.n() as f64).powf(exponent),
+        stretch_mean: par_eval.stretch.mean_multiplicative().unwrap_or(1.0),
+        stretch_max: par_eval.stretch.max_multiplicative().unwrap_or(1.0),
+    }
+}
+
+fn print_row(r: &Row) {
+    println!(
+        "{:>6} {:<10} {:>9.0} {:>9.0} {:>7.2}x {:>9} {:>9} ({:>6.1}) {:>8.3} {:>8.3}",
+        r.n,
+        r.scheme,
+        r.build_seq_ms,
+        r.build_par_ms,
+        r.speedup,
+        if r.identical { "yes" } else { "NO" },
+        r.table_max,
+        r.normalized,
+        r.stretch_mean,
+        r.stretch_max,
+    );
+}
 
 fn main() {
-    let sizes: Vec<usize> = {
-        let args: Vec<usize> =
-            std::env::args().skip(1).filter_map(|a| a.parse().ok()).collect();
-        if args.is_empty() { vec![200, 400, 800] } else { args }
-    };
-    println!("table-size scaling (erdos-renyi, eps=0.25)");
+    let opts = parse_options();
+    let threads =
+        if opts.threads == 0 { routing_par::available_threads() } else { opts.threads };
     println!(
-        "{:>6} {:>22} {:>22} {:>22} {:>22} {:>22}",
-        "n",
-        "thm10 max (/n^2/3)",
-        "thm11 max (/n^1/3)",
-        "warmup max (/n^1/2)",
-        "tz k=2 max (/n^1/2)",
-        "tz k=3 max (/n^1/3)"
+        "preprocessing scalability (family={}, eps={}, threads 1 vs {}, {} pairs / {} ground-truth sources per n)",
+        opts.family.name(),
+        opts.epsilon,
+        threads,
+        opts.sample_pairs,
+        opts.sample_sources,
     );
-    for &n in &sizes {
-        let params = routing_core::Params::with_epsilon(0.25);
-        let mut rng = StdRng::seed_from_u64(13);
-        let unweighted = Family::ErdosRenyi.generate(n, WeightModel::Unit, &mut rng);
+    println!(
+        "{:>6} {:<10} {:>9} {:>9} {:>8} {:>9} {:>9} {:>8} {:>8} {:>8}",
+        "n",
+        "scheme",
+        "seq-ms",
+        "par-ms",
+        "speedup",
+        "identical",
+        "tbl-max",
+        "(/n^x)",
+        "stretch",
+        "max-str"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    for &n in &opts.sizes {
+        let params = Params::with_epsilon(opts.epsilon);
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let unweighted = opts.family.generate(n, WeightModel::Unit, &mut rng);
         let weighted =
-            Family::ErdosRenyi.generate(n, WeightModel::Uniform { lo: 1, hi: 32 }, &mut rng);
+            opts.family.generate(n, WeightModel::Uniform { lo: 1, hi: 32 }, &mut rng);
 
-        let max_of = |words: Vec<usize>| words.into_iter().max().unwrap_or(0);
-        let norm = |max: usize, e: f64| max as f64 / (n as f64).powf(e);
+        // Shared ground truth and pair sample per graph flavour, so every
+        // scheme (and both builds of each scheme) routes the same pairs.
+        routing_par::set_threads(threads);
+        let mut oracle_rng = StdRng::seed_from_u64(opts.seed ^ 0x0c1e);
+        let oracle_u = SampledDistances::sample(&unweighted, opts.sample_sources, &mut oracle_rng);
+        let oracle_w = SampledDistances::sample(&weighted, opts.sample_sources, &mut oracle_rng);
+        let mut pair_rng = StdRng::seed_from_u64(opts.seed ^ 0xbeef);
+        let pairs_u =
+            select_pairs_anchored(&unweighted, oracle_u.sources(), opts.sample_pairs, &mut pair_rng);
+        let pairs_w =
+            select_pairs_anchored(&weighted, oracle_w.sources(), opts.sample_pairs, &mut pair_rng);
 
-        let thm10 = SchemeTwoPlusEps::build(&unweighted, &params, &mut rng).expect("thm10");
-        let m10 = max_of(unweighted.vertices().map(|v| thm10.table_words(v)).collect());
-        let thm11 = SchemeFivePlusEps::build(&weighted, &params, &mut rng).expect("thm11");
-        let m11 = max_of(weighted.vertices().map(|v| thm11.table_words(v)).collect());
-        let warm = SchemeThreePlusEps::build(&weighted, &params, &mut rng).expect("warmup");
-        let mw = max_of(weighted.vertices().map(|v| warm.table_words(v)).collect());
-        let tz2 = TzRoutingScheme::build(&weighted, 2, &mut rng);
-        let m2 = max_of(weighted.vertices().map(|v| tz2.table_words(v)).collect());
-        let tz3 = TzRoutingScheme::build(&weighted, 3, &mut rng);
-        let m3 = max_of(weighted.vertices().map(|v| tz3.table_words(v)).collect());
+        let build_seed = opts.seed ^ 0xb111d;
+        for scheme in &opts.schemes {
+            let row = match scheme.as_str() {
+                "tz2" => measure("tz2", 0.5, &weighted, &oracle_w, &pairs_w, threads, || {
+                    let mut rng = StdRng::seed_from_u64(build_seed);
+                    TzRoutingScheme::build(&weighted, 2, &mut rng)
+                }),
+                "tz3" => measure("tz3", 1.0 / 3.0, &weighted, &oracle_w, &pairs_w, threads, || {
+                    let mut rng = StdRng::seed_from_u64(build_seed);
+                    TzRoutingScheme::build(&weighted, 3, &mut rng)
+                }),
+                "warmup" => {
+                    measure("warmup", 0.5, &weighted, &oracle_w, &pairs_w, threads, || {
+                        let mut rng = StdRng::seed_from_u64(build_seed);
+                        SchemeThreePlusEps::build(&weighted, &params, &mut rng).expect("warmup")
+                    })
+                }
+                "thm10" => {
+                    measure("thm10", 2.0 / 3.0, &unweighted, &oracle_u, &pairs_u, threads, || {
+                        let mut rng = StdRng::seed_from_u64(build_seed);
+                        SchemeTwoPlusEps::build(&unweighted, &params, &mut rng).expect("thm10")
+                    })
+                }
+                "thm11" => {
+                    measure("thm11", 1.0 / 3.0, &weighted, &oracle_w, &pairs_w, threads, || {
+                        let mut rng = StdRng::seed_from_u64(build_seed);
+                        SchemeFivePlusEps::build(&weighted, &params, &mut rng).expect("thm11")
+                    })
+                }
+                other => {
+                    eprintln!("unknown scheme {other}");
+                    continue;
+                }
+            };
+            print_row(&row);
+            rows.push(row);
+        }
+    }
+    // Leave the global in the parallel state callers asked for.
+    routing_par::set_threads(threads);
 
-        println!(
-            "{:>6} {:>14} ({:>6.1}) {:>14} ({:>6.1}) {:>14} ({:>6.1}) {:>14} ({:>6.1}) {:>14} ({:>6.1})",
-            n,
-            m10,
-            norm(m10, 2.0 / 3.0),
-            m11,
-            norm(m11, 1.0 / 3.0),
-            mw,
-            norm(mw, 0.5),
-            m2,
-            norm(m2, 0.5),
-            m3,
-            norm(m3, 1.0 / 3.0),
-        );
+    if rows.iter().any(|r| !r.identical) {
+        eprintln!("ERROR: a parallel build differed from its sequential twin");
+        std::process::exit(1);
+    }
+    println!("\nall parallel builds identical to their sequential twins");
+
+    if let Some(path) = &opts.json {
+        match serde_json::to_string_pretty(&rows) {
+            Ok(json) => match std::fs::write(path, json) {
+                Ok(()) => println!("(wrote {path})"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            },
+            Err(e) => eprintln!("could not serialize rows: {e}"),
+        }
     }
 }

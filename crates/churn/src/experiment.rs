@@ -29,9 +29,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use routing_graph::apsp::DistanceMatrix;
 use routing_graph::mutate::{induced_subgraph, largest_component};
-use routing_graph::Graph;
+use routing_graph::{Graph, SampledDistances, VertexId};
 use routing_model::stale::{route_pairs_lossy, sample_alive_pairs, ResilienceReport};
 use routing_model::RoutingScheme;
 
@@ -45,6 +44,13 @@ pub struct ChurnExperimentConfig {
     /// Routed pairs sampled per round (both for the stale measurement and
     /// for the post-rebuild measurement).
     pub pairs_per_round: usize,
+    /// Cap on the number of distinct pair **sources** per round. `0` means
+    /// unlimited: pairs are sampled uniformly, exactly as before the sampled
+    /// ground truth existed. A positive value anchors every pair's source in
+    /// a random set of at most this many alive vertices, bounding the
+    /// per-round ground-truth cost at that many (parallel) Dijkstra runs —
+    /// set this (e.g. to 64–256) for `n ≥ 10,000` runs.
+    pub sources_per_round: usize,
     /// The rebuild discipline under test.
     pub policy: RebuildPolicy,
     /// Seed for pair sampling (independent of the churn schedule's seed so
@@ -54,7 +60,12 @@ pub struct ChurnExperimentConfig {
 
 impl Default for ChurnExperimentConfig {
     fn default() -> Self {
-        ChurnExperimentConfig { pairs_per_round: 1000, policy: RebuildPolicy::Never, seed: 99 }
+        ChurnExperimentConfig {
+            pairs_per_round: 1000,
+            sources_per_round: 0,
+            policy: RebuildPolicy::Never,
+            seed: 99,
+        }
     }
 }
 
@@ -195,8 +206,12 @@ where
             .map(|(i, &a)| a && i < scheme.n())
             .collect();
         let graph = process.graph();
-        let exact = DistanceMatrix::new(graph);
-        let pairs = sample_alive_pairs(&known, cfg.pairs_per_round, &mut pair_rng);
+        let pairs =
+            sample_round_pairs(&known, cfg.sources_per_round, cfg.pairs_per_round, &mut pair_rng);
+        // Ground truth only needs rows for the pairs' distinct sources —
+        // `O(sources·(m + n log n))` parallel work instead of the dense
+        // matrix's `O(n^2)` memory and `n` searches.
+        let exact = SampledDistances::from_sources(graph, pair_sources(&pairs));
         let stale = route_pairs_lossy(graph, &scheme, &exact, &pairs);
         let stale_reachability = stale.reachability();
 
@@ -227,9 +242,14 @@ where
             record.rebuilt = true;
             rounds_since_rebuild = 0;
 
-            let compact_exact = DistanceMatrix::new(&compact);
             let all_alive = vec![true; compact.n()];
-            let post_pairs = sample_alive_pairs(&all_alive, cfg.pairs_per_round, &mut pair_rng);
+            let post_pairs = sample_round_pairs(
+                &all_alive,
+                cfg.sources_per_round,
+                cfg.pairs_per_round,
+                &mut pair_rng,
+            );
+            let compact_exact = SampledDistances::from_sources(&compact, pair_sources(&post_pairs));
             let post = route_pairs_lossy(&compact, &scheme, &compact_exact, &post_pairs);
             record.post = Some(PostRebuild {
                 n: compact.n(),
@@ -245,6 +265,41 @@ where
     }
 
     Ok(result)
+}
+
+/// Per-round pair sampling. With `sources_cap == 0` this is exactly
+/// [`sample_alive_pairs`] (uniform sources, unchanged measurement protocol);
+/// a positive cap first draws that many alive source vertices and anchors
+/// every pair at one of them, bounding the ground-truth cost per round.
+fn sample_round_pairs(
+    alive: &[bool],
+    sources_cap: usize,
+    count: usize,
+    rng: &mut StdRng,
+) -> Vec<(VertexId, VertexId)> {
+    use rand::seq::SliceRandom;
+    if sources_cap == 0 {
+        return sample_alive_pairs(alive, count, rng);
+    }
+    let ids: Vec<VertexId> = alive
+        .iter()
+        .enumerate()
+        .filter(|&(_, &a)| a)
+        .map(|(i, _)| VertexId(i as u32))
+        .collect();
+    if ids.len() < 2 {
+        return Vec::new();
+    }
+    let mut sources = ids.clone();
+    sources.shuffle(rng);
+    sources.truncate(sources_cap.min(ids.len()));
+    routing_model::sample_pairs_from(&sources, &ids, count, rng)
+}
+
+/// The distinct sources of a pair population (deduplication happens inside
+/// [`SampledDistances::from_sources`]).
+fn pair_sources(pairs: &[(VertexId, VertexId)]) -> Vec<VertexId> {
+    pairs.iter().map(|&(u, _)| u).collect()
 }
 
 #[cfg(test)]
@@ -280,6 +335,7 @@ mod tests {
         };
         let cfg = ChurnExperimentConfig {
             pairs_per_round: 200,
+            sources_per_round: 0,
             policy: RebuildPolicy::Never,
             seed: 1,
         };
@@ -307,6 +363,7 @@ mod tests {
         };
         let cfg = ChurnExperimentConfig {
             pairs_per_round: 400,
+            sources_per_round: 0,
             policy: RebuildPolicy::Never,
             seed: 2,
         };
@@ -332,6 +389,7 @@ mod tests {
         };
         let cfg = ChurnExperimentConfig {
             pairs_per_round: 300,
+            sources_per_round: 0,
             policy: RebuildPolicy::EveryRound,
             seed: 3,
         };
@@ -359,6 +417,7 @@ mod tests {
         };
         let lenient = ChurnExperimentConfig {
             pairs_per_round: 300,
+            sources_per_round: 0,
             policy: RebuildPolicy::ReachabilityBelow(0.05),
             seed: 4,
         };
@@ -385,6 +444,7 @@ mod tests {
         };
         let cfg = ChurnExperimentConfig {
             pairs_per_round: 150,
+            sources_per_round: 0,
             policy: RebuildPolicy::EveryK(2),
             seed: 6,
         };

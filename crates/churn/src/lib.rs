@@ -47,6 +47,7 @@
 //! };
 //! let cfg = ChurnExperimentConfig {
 //!     pairs_per_round: 300,
+//!     sources_per_round: 0,
 //!     policy: RebuildPolicy::ReachabilityBelow(0.9),
 //!     seed: 11,
 //! };
@@ -72,4 +73,4 @@ pub mod policy;
 
 pub use experiment::{run_churn, ChurnExperimentConfig, ChurnRunResult, PostRebuild, RoundRecord};
 pub use plan::{ChurnPlan, ChurnPlanConfig, ChurnProcess, RemovalMode};
-pub use policy::RebuildPolicy;
+pub use policy::{ParsePolicyError, RebuildPolicy};

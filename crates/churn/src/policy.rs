@@ -7,6 +7,7 @@
 //! unreachability; the interesting policies are in between.
 
 use std::fmt;
+use std::str::FromStr;
 
 /// When to rebuild the routing scheme during a churn experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -44,23 +45,70 @@ impl RebuildPolicy {
 
     /// Parses a CLI name: `never`, `every-round`, `every-<k>`, or
     /// `threshold-<x>` (e.g. `threshold-0.9`).
+    ///
+    /// Convenience wrapper around the [`FromStr`] impl for callers that only
+    /// care about success; use `s.parse::<RebuildPolicy>()` when the error
+    /// message (which names the offending input and the accepted grammar)
+    /// should reach the user.
     pub fn parse(s: &str) -> Option<RebuildPolicy> {
+        s.parse().ok()
+    }
+}
+
+/// Error returned when a string is not a valid [`RebuildPolicy`] name.
+///
+/// Carries the rejected input and a reason suitable for CLI diagnostics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError {
+    /// The string that failed to parse.
+    pub input: String,
+    /// Why it was rejected.
+    pub reason: &'static str,
+}
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "invalid rebuild policy {:?}: {} (expected `never`, `every-round`, `every-<k>` with k >= 1, or `threshold-<x>` with 0 <= x <= 1)",
+            self.input, self.reason
+        )
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for RebuildPolicy {
+    type Err = ParsePolicyError;
+
+    /// Parses the CLI grammar `never | every-round | every-<k> |
+    /// threshold-<x>`, rejecting `every-0` (a rebuild period must be
+    /// positive) and thresholds outside `[0, 1]` (reachability is a
+    /// fraction).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = |reason: &'static str| ParsePolicyError { input: s.to_string(), reason };
         match s {
-            "never" => return Some(RebuildPolicy::Never),
-            "every-round" => return Some(RebuildPolicy::EveryRound),
+            "never" => return Ok(RebuildPolicy::Never),
+            "every-round" => return Ok(RebuildPolicy::EveryRound),
             _ => {}
         }
         if let Some(k) = s.strip_prefix("every-") {
-            return k.parse::<usize>().ok().filter(|&k| k >= 1).map(RebuildPolicy::EveryK);
+            let k: usize =
+                k.parse().map_err(|_| err("the rebuild period is not an integer"))?;
+            if k < 1 {
+                return Err(err("the rebuild period must be at least 1"));
+            }
+            return Ok(RebuildPolicy::EveryK(k));
         }
         if let Some(t) = s.strip_prefix("threshold-") {
-            return t
-                .parse::<f64>()
-                .ok()
-                .filter(|t| (0.0..=1.0).contains(t))
-                .map(RebuildPolicy::ReachabilityBelow);
+            let t: f64 =
+                t.parse().map_err(|_| err("the reachability threshold is not a number"))?;
+            if !(0.0..=1.0).contains(&t) {
+                return Err(err("the reachability threshold must lie in [0, 1]"));
+            }
+            return Ok(RebuildPolicy::ReachabilityBelow(t));
         }
-        None
+        Err(err("unknown policy name"))
     }
 }
 
@@ -112,9 +160,26 @@ mod tests {
             RebuildPolicy::ReachabilityBelow(0.75),
         ] {
             assert_eq!(RebuildPolicy::parse(&p.to_string()), Some(p));
+            assert_eq!(p.to_string().parse(), Ok(p));
         }
         assert_eq!(RebuildPolicy::parse("every-0"), None);
         assert_eq!(RebuildPolicy::parse("threshold-2.0"), None);
         assert_eq!(RebuildPolicy::parse("sometimes"), None);
+    }
+
+    #[test]
+    fn from_str_errors_name_the_problem() {
+        let e = "every-0".parse::<RebuildPolicy>().unwrap_err();
+        assert!(e.reason.contains("at least 1"));
+        let e = "every-x".parse::<RebuildPolicy>().unwrap_err();
+        assert!(e.reason.contains("not an integer"));
+        let e = "threshold-2.0".parse::<RebuildPolicy>().unwrap_err();
+        assert!(e.reason.contains("[0, 1]"));
+        let e = "threshold-abc".parse::<RebuildPolicy>().unwrap_err();
+        assert!(e.reason.contains("not a number"));
+        let e = "sometimes".parse::<RebuildPolicy>().unwrap_err();
+        assert_eq!(e.input, "sometimes");
+        // The Display form carries the grammar for CLI help.
+        assert!(e.to_string().contains("every-<k>"));
     }
 }

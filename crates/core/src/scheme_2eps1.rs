@@ -146,20 +146,23 @@ impl SchemeTwoPlusEps {
         let landmarks = sample_centers_bounded(g, s, rng);
         let clusters = all_clusters(g, &landmarks);
         let bunch_of = bunches(g, &clusters);
-        let mut cluster_trees = Vec::with_capacity(n);
-        for tree in &clusters {
-            cluster_trees.push(
-                TreeScheme::from_restricted(g, tree)
-                    .map_err(|e| BuildError::TooSmall { what: e.to_string() })?,
-            );
-        }
+        let cluster_trees: Vec<TreeScheme> = routing_par::par_map(&clusters, |tree| {
+            TreeScheme::from_restricted(g, tree)
+                .map_err(|e| BuildError::TooSmall { what: e.to_string() })
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
 
-        // Global trees for every landmark.
+        // Global trees for every landmark (one full Dijkstra each, fanned
+        // out in parallel).
+        let built: Vec<Result<TreeScheme, BuildError>> =
+            routing_par::par_map(landmarks.members(), |&a| {
+                TreeScheme::from_spt(g, &dijkstra(g, a))
+                    .map_err(|e| BuildError::TooSmall { what: e.to_string() })
+            });
         let mut global_trees = HashMap::with_capacity(landmarks.len());
-        for &a in landmarks.members() {
-            let tree = TreeScheme::from_spt(g, &dijkstra(g, a))
-                .map_err(|e| BuildError::TooSmall { what: e.to_string() })?;
-            global_trees.insert(a, tree);
+        for (&a, tree) in landmarks.members().iter().zip(built) {
+            global_trees.insert(a, tree?);
         }
 
         // Best intersection vertex per (u, v) with B(u, q̃) ∩ B_A(v) != ∅.

@@ -130,26 +130,33 @@ impl SchemeFivePlusEps {
         let landmarks = sample_centers_bounded(g, s, rng);
         let clusters = all_clusters(g, &landmarks);
         let bunch_of = bunches(g, &clusters);
-        let mut cluster_trees = Vec::with_capacity(n);
-        for tree in &clusters {
-            cluster_trees.push(
-                TreeScheme::from_restricted(g, tree)
-                    .map_err(|e| BuildError::TooSmall { what: e.to_string() })?,
-            );
-        }
+        let cluster_trees: Vec<TreeScheme> = routing_par::par_map(&clusters, |tree| {
+            TreeScheme::from_restricted(g, tree)
+                .map_err(|e| BuildError::TooSmall { what: e.to_string() })
+        })
+        .into_iter()
+        .collect::<Result<_, _>>()?;
 
         // First edge (p_A(v), z) of a shortest path from the landmark to v.
+        // One Dijkstra per landmark, in parallel; each landmark only claims
+        // the vertices it is the nearest landmark of, so the merged writes
+        // are disjoint and order-independent.
+        let per_landmark: Vec<Vec<(VertexId, (VertexId, Port))>> =
+            routing_par::par_map(landmarks.members(), |&a| {
+                let spt = routing_graph::shortest_path::dijkstra(g, a);
+                g.vertices()
+                    .filter(|&v| landmarks.nearest(v) == Some(a) && v != a)
+                    .filter_map(|v| {
+                        spt.first_hop(v).map(|z| {
+                            let port = g.port_to(a, z).expect("first hop is a neighbour");
+                            (v, (z, port))
+                        })
+                    })
+                    .collect()
+            });
         let mut first_edge: Vec<Option<(VertexId, Port)>> = vec![None; n];
-        for &a in landmarks.members() {
-            let spt = routing_graph::shortest_path::dijkstra(g, a);
-            for v in g.vertices() {
-                if landmarks.nearest(v) == Some(a) && v != a {
-                    if let Some(z) = spt.first_hop(v) {
-                        let port = g.port_to(a, z).expect("first hop is a neighbour");
-                        first_edge[v.index()] = Some((z, port));
-                    }
-                }
-            }
+        for (v, edge) in per_landmark.into_iter().flatten() {
+            first_edge[v.index()] = Some(edge);
         }
 
         // Lemma 6 coloring for the source partition U.

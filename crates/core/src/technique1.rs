@@ -118,13 +118,18 @@ impl Technique1Router {
         };
         let hitting_lookup: HashSet<VertexId> = hitting.iter().copied().collect();
 
-        // Global shortest-path trees for the hitting set.
+        // Global shortest-path trees for the hitting set: one full Dijkstra
+        // plus a heavy-path decomposition per hitting-set vertex, all
+        // independent — fan them out.
+        let built_trees: Vec<Result<TreeScheme, BuildError>> =
+            routing_par::par_map(&hitting, |&w| {
+                let spt = dijkstra(g, w);
+                TreeScheme::from_spt(g, &spt)
+                    .map_err(|e| BuildError::TooSmall { what: e.to_string() })
+            });
         let mut trees = HashMap::with_capacity(hitting.len());
-        for &w in &hitting {
-            let spt = dijkstra(g, w);
-            let tree = TreeScheme::from_spt(g, &spt)
-                .map_err(|e| BuildError::TooSmall { what: e.to_string() })?;
-            trees.insert(w, tree);
+        for (&w, tree) in hitting.iter().zip(built_trees) {
+            trees.insert(w, tree?);
         }
 
         // Group vertices by set.
@@ -133,23 +138,38 @@ impl Technique1Router {
             groups.entry(set_of[v.index()]).or_default().push(v);
         }
 
-        // Sequences for every same-set ordered pair.
+        // Sequences for every same-set ordered pair. Each source vertex `u`
+        // needs one Dijkstra and then only reads shared state, so the
+        // per-source work items run in parallel; the merge below is
+        // sequential in vertex order, making the result independent of the
+        // thread count.
+        let mut sources: Vec<(VertexId, &[VertexId])> = Vec::new();
+        for members in groups.values() {
+            if members.len() < 2 {
+                continue;
+            }
+            for &u in members {
+                sources.push((u, members.as_slice()));
+            }
+        }
+        sources.sort_unstable_by_key(|&(u, _)| u);
+        let per_source: Vec<Vec<(VertexId, StoredSeq)>> =
+            routing_par::par_map(&sources, |&(u, members)| {
+                let spt = dijkstra(g, u);
+                members
+                    .iter()
+                    .filter(|&&v| v != u)
+                    .map(|&v| {
+                        (v, build_sequence(g, balls, &spt, u, v, b, &hitting_lookup, &trees))
+                    })
+                    .collect()
+            });
         let mut seqs = HashMap::new();
         let mut seq_words = vec![0usize; g.n()];
-        for members in groups.values() {
-            for &u in members {
-                if members.len() < 2 {
-                    continue;
-                }
-                let spt = dijkstra(g, u);
-                for &v in members {
-                    if v == u {
-                        continue;
-                    }
-                    let stored = build_sequence(g, balls, &spt, u, v, b, &hitting_lookup, &trees);
-                    seq_words[u.index()] += 1 + stored.words();
-                    seqs.insert((u, v), stored);
-                }
+        for (&(u, _), stored_list) in sources.iter().zip(per_source) {
+            for (v, stored) in stored_list {
+                seq_words[u.index()] += 1 + stored.words();
+                seqs.insert((u, v), stored);
             }
         }
 

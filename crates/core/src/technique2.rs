@@ -99,23 +99,36 @@ impl Technique2Router {
             classes.entry(color_of[v.index()]).or_default().push(v);
         }
 
-        let mut seqs = HashMap::new();
-        let mut seq_words = vec![0usize; g.n()];
+        // One Dijkstra per destination `w`, then a sequence per matched
+        // source — independent work items, fanned out in parallel. The merge
+        // below runs in a fixed (j, w) order so the router is identical for
+        // every thread count.
+        let mut work: Vec<(u32, VertexId, &[VertexId])> = Vec::new();
         for (j, dests) in dest_partition.iter().enumerate() {
             let Some(sources) = classes.get(&(j as u32)) else { continue };
             for &w in dests {
+                work.push((j as u32, w, sources.as_slice()));
+            }
+        }
+        let per_dest: Vec<Vec<(VertexId, Vec<SeqEntry>)>> =
+            routing_par::par_map(&work, |&(j, w, sources)| {
                 let spt_w = dijkstra(g, w);
-                for &u in sources {
-                    if u == w {
-                        continue;
-                    }
-                    let mut path = spt_w.path_to(u).expect("graph is connected");
-                    path.reverse(); // now u -> w
-                    let entries =
-                        build_t2_sequence(g, balls, &spt_w, &path, w, j as u32, &color_of, b);
-                    seq_words[u.index()] += 1 + sequence_words(&entries);
-                    seqs.insert((u, w), entries);
-                }
+                sources
+                    .iter()
+                    .filter(|&&u| u != w)
+                    .map(|&u| {
+                        let mut path = spt_w.path_to(u).expect("graph is connected");
+                        path.reverse(); // now u -> w
+                        (u, build_t2_sequence(g, balls, &spt_w, &path, w, j, &color_of, b))
+                    })
+                    .collect()
+            });
+        let mut seqs = HashMap::new();
+        let mut seq_words = vec![0usize; g.n()];
+        for (&(_, w, _), entries_list) in work.iter().zip(per_dest) {
+            for (u, entries) in entries_list {
+                seq_words[u.index()] += 1 + sequence_words(&entries);
+                seqs.insert((u, w), entries);
             }
         }
 

@@ -1,12 +1,46 @@
 //! Exact all-pairs shortest paths, used as ground truth by tests and by the
 //! stretch measurements in the experiment harness.
 //!
-//! The matrix costs `O(n^2)` memory and `n` Dijkstra runs to build, which is
-//! fine at the laptop scales the reproduction targets (a few thousand
-//! vertices).
+//! Two ground-truth backends share the [`DistanceOracle`] interface:
+//!
+//! * [`DistanceMatrix`] — the dense matrix: `O(n^2)` memory, `n` (parallel)
+//!   Dijkstra runs. Exact for every pair, but quadratic memory caps it at a
+//!   few thousand vertices.
+//! * [`crate::sampled::SampledDistances`] — `k` source rows plus on-demand
+//!   pair queries: `O(k·n)` memory and `O(k·(m + n log n))` build time. This
+//!   is what the harness uses beyond laptop scale (`n ≥ 10,000`): stretch is
+//!   measured over pairs anchored at the sampled sources, where the oracle
+//!   is still *exact*.
+//!
+//! Evaluation code should accept `&impl DistanceOracle` so both backends
+//! plug in.
 
 use crate::shortest_path::dijkstra;
 use crate::{Graph, VertexId, Weight, INFINITY};
+
+/// Exact pairwise distances, by whatever backing strategy.
+///
+/// Implementations must return the **exact** graph distance for every pair
+/// they answer (`None` strictly meaning "unreachable") — evaluation
+/// normalizes routed path weights by these values, so an approximate answer
+/// would silently corrupt every stretch statistic.
+pub trait DistanceOracle {
+    /// Number of vertices of the underlying graph.
+    fn n(&self) -> usize;
+
+    /// Exact distance between `u` and `v`, or `None` if unreachable.
+    ///
+    /// May cost a full graph search for pairs the oracle has no stored row
+    /// for (see [`crate::sampled::SampledDistances`]); callers that route
+    /// many pairs should anchor them at [`DistanceOracle::preferred_sources`].
+    fn distance(&self, u: VertexId, v: VertexId) -> Option<Weight>;
+
+    /// Sources for which `distance` is an `O(1)` lookup, or `None` when every
+    /// pair is cheap (dense backends).
+    fn preferred_sources(&self) -> Option<&[VertexId]> {
+        None
+    }
+}
 
 /// Dense all-pairs distance matrix.
 #[derive(Debug, Clone)]
@@ -16,17 +50,17 @@ pub struct DistanceMatrix {
 }
 
 impl DistanceMatrix {
-    /// Computes exact distances between every pair of vertices.
+    /// Computes exact distances between every pair of vertices with one
+    /// Dijkstra per source, fanned out over [`routing_par::threads`] threads.
     pub fn new(g: &Graph) -> Self {
         let n = g.n();
-        let mut dist = vec![INFINITY; n * n];
-        for u in g.vertices() {
-            let sp = dijkstra(g, u);
-            for v in g.vertices() {
-                if let Some(d) = sp.dist(v) {
-                    dist[u.index() * n + v.index()] = d;
-                }
-            }
+        let rows: Vec<Vec<Weight>> = routing_par::par_map_index(n, |u| {
+            let sp = dijkstra(g, VertexId(u as u32));
+            g.vertices().map(|v| sp.dist(v).unwrap_or(INFINITY)).collect()
+        });
+        let mut dist = Vec::with_capacity(n * n);
+        for row in rows {
+            dist.extend(row);
         }
         DistanceMatrix { n, dist }
     }
@@ -63,6 +97,16 @@ impl DistanceMatrix {
         }
         let d = self.dist(u, v)?;
         Some(routed as f64 / d as f64)
+    }
+}
+
+impl DistanceOracle for DistanceMatrix {
+    fn n(&self) -> usize {
+        self.n
+    }
+
+    fn distance(&self, u: VertexId, v: VertexId) -> Option<Weight> {
+        self.dist(u, v)
     }
 }
 

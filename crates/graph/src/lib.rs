@@ -13,7 +13,10 @@
 //!   harness (the paper is evaluated on "any undirected graph"; generators
 //!   stand in for the absence of a dataset).
 //! * [`apsp`] — exact all-pairs shortest paths used as ground truth by tests
-//!   and by the stretch measurements.
+//!   and by the stretch measurements, behind the [`DistanceOracle`] trait.
+//! * [`sampled`] — the scalable ground truth: exact rows from `k` sampled
+//!   sources plus on-demand pair queries, `O(k·n)` memory instead of
+//!   `O(n^2)`.
 //! * [`mutate`] — churn support: derive a mutated CSR graph from a base
 //!   graph plus a batch of vertex/edge removals and additions, preserving
 //!   fixed ports where possible, with component extraction for rebuilds.
@@ -51,8 +54,11 @@ mod error;
 pub mod generators;
 mod graph;
 pub mod mutate;
+pub mod sampled;
 pub mod shortest_path;
 
+pub use apsp::DistanceOracle;
 pub use error::GraphError;
 pub use graph::{EdgeRef, Graph, GraphBuilder, Port, VertexId, Weight, INFINITY};
 pub use mutate::{ChurnEvent, Mutation, MutationError, MutationStats};
+pub use sampled::SampledDistances;

@@ -1,13 +1,22 @@
 //! End-to-end evaluation of a routing scheme on a graph: route many pairs,
 //! compare against exact distances, and aggregate stretch/space/label/header
 //! statistics. Used both by integration tests and by the experiment harness.
+//!
+//! Ground truth is abstracted behind [`routing_graph::DistanceOracle`], so
+//! the same evaluation code runs against the dense
+//! [`routing_graph::apsp::DistanceMatrix`] (exact for every pair, `O(n^2)`
+//! memory — correctness tests) and against
+//! [`routing_graph::SampledDistances`] (`k` exact source rows, `O(k·n)` —
+//! the scalable path). For the sampled oracle, draw the pair population with
+//! [`select_pairs_anchored`] over the oracle's sources so every ground-truth
+//! lookup is an `O(1)` exact hit; [`evaluate_sampled`] bundles exactly that
+//! protocol.
 
 use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use routing_graph::apsp::DistanceMatrix;
-use routing_graph::{Graph, VertexId};
+use routing_graph::{DistanceOracle, Graph, VertexId};
 
 use crate::scheme::RoutingScheme;
 use crate::simulator::simulate;
@@ -68,27 +77,47 @@ impl EvalReport {
 
 /// Routes the selected pairs through `scheme` and aggregates statistics.
 ///
-/// `exact` must be the distance matrix of `g`; passing it in (rather than
-/// recomputing) lets callers share one matrix across many schemes.
+/// `exact` is any ground-truth backend for `g` — the dense matrix or the
+/// sampled oracle; passing it in (rather than recomputing) lets callers
+/// share one oracle across many schemes.
 ///
 /// # Errors
 ///
 /// Propagates the first routing failure — a correct scheme never fails, so
 /// tests treat any error as a bug.
-pub fn evaluate<S: RoutingScheme, R: Rng>(
+pub fn evaluate<S: RoutingScheme, O: DistanceOracle, R: Rng>(
     g: &Graph,
     scheme: &S,
-    exact: &DistanceMatrix,
+    exact: &O,
     selection: PairSelection,
     rng: &mut R,
 ) -> Result<EvalReport, RouteError> {
     let pairs = select_pairs(g, selection, rng);
+    evaluate_pairs(g, scheme, exact, &pairs)
+}
+
+/// [`evaluate`] over an explicit pair population.
+///
+/// This is the primitive both [`evaluate`] and [`evaluate_sampled`] reduce
+/// to; use it directly when the pair population must be shared across
+/// schemes (so every row of a comparison table routes the same pairs).
+///
+/// # Errors
+///
+/// Propagates the first routing failure, and reports disconnected pairs as
+/// [`RouteError::BadLabel`].
+pub fn evaluate_pairs<S: RoutingScheme, O: DistanceOracle>(
+    g: &Graph,
+    scheme: &S,
+    exact: &O,
+    pairs: &[(VertexId, VertexId)],
+) -> Result<EvalReport, RouteError> {
     let mut stretch = StretchStats::new();
     let mut max_header_words = 0usize;
-    for &(u, v) in &pairs {
+    for &(u, v) in pairs {
         let out = simulate(g, scheme, u, v)?;
         let d = exact
-            .dist(u, v)
+            .distance(u, v)
             .ok_or_else(|| RouteError::BadLabel { what: format!("{u} and {v} are disconnected") })?;
         stretch.record(out.weight, d);
         max_header_words = max_header_words.max(out.max_header_words);
@@ -151,15 +180,85 @@ pub fn select_pairs<R: Rng>(
     }
 }
 
+/// Samples `count` ordered pairs whose **sources** are drawn from `sources`
+/// and whose destinations are uniform over `V` — the pair population that
+/// makes every ground-truth lookup against a `k`-source oracle an `O(1)`
+/// exact hit.
+///
+/// Returns an empty vector when `sources` is empty or the graph has fewer
+/// than two vertices.
+pub fn select_pairs_anchored<R: Rng>(
+    g: &Graph,
+    sources: &[VertexId],
+    count: usize,
+    rng: &mut R,
+) -> Vec<(VertexId, VertexId)> {
+    let ids: Vec<VertexId> = g.vertices().collect();
+    sample_pairs_from(sources, &ids, count, rng)
+}
+
+/// The sampling primitive behind [`select_pairs_anchored`] (and the churn
+/// harness's per-round variant, which restricts both slices to alive
+/// vertices): `count` ordered pairs with the source drawn uniformly from
+/// `sources`, the destination uniformly from `destinations`, rejecting
+/// `u == v`. Empty when either slice is empty or no distinct pair exists.
+pub fn sample_pairs_from<R: Rng>(
+    sources: &[VertexId],
+    destinations: &[VertexId],
+    count: usize,
+    rng: &mut R,
+) -> Vec<(VertexId, VertexId)> {
+    if sources.is_empty() || destinations.is_empty() {
+        return Vec::new();
+    }
+    // Guard against an unsatisfiable rejection loop: the only way every
+    // draw collides is a single shared vertex on both sides.
+    if sources.len() == 1 && destinations.len() == 1 && sources[0] == destinations[0] {
+        return Vec::new();
+    }
+    let mut pairs = Vec::with_capacity(count);
+    while pairs.len() < count {
+        let u = *sources.choose(rng).expect("sources is non-empty");
+        let v = *destinations.choose(rng).expect("destinations is non-empty");
+        if u != v {
+            pairs.push((u, v));
+        }
+    }
+    pairs
+}
+
+/// Evaluates `scheme` against a sampled ground-truth oracle using the
+/// anchored-pair protocol: `count` pairs whose sources are the oracle's
+/// [`DistanceOracle::preferred_sources`] (uniform pairs when the oracle is
+/// dense), so stretch measurement costs no extra graph searches at any `n`.
+///
+/// # Errors
+///
+/// Propagates the first routing failure, as [`evaluate`].
+pub fn evaluate_sampled<S: RoutingScheme, O: DistanceOracle, R: Rng>(
+    g: &Graph,
+    scheme: &S,
+    oracle: &O,
+    count: usize,
+    rng: &mut R,
+) -> Result<EvalReport, RouteError> {
+    let pairs = match oracle.preferred_sources() {
+        Some(sources) => select_pairs_anchored(g, sources, count, rng),
+        None => select_pairs(g, PairSelection::Sampled(count), rng),
+    };
+    evaluate_pairs(g, scheme, oracle, &pairs)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::scheme::{Decision, HeaderSize};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use routing_graph::apsp::DistanceMatrix;
     use routing_graph::generators;
     use routing_graph::shortest_path::dijkstra;
-    use routing_graph::Port;
+    use routing_graph::{Port, SampledDistances};
 
     struct FullTable {
         n: usize,
@@ -252,5 +351,30 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(7);
         let pairs = select_pairs(&g, PairSelection::Sampled(5), &mut rng);
         assert!(pairs.is_empty());
+    }
+
+    #[test]
+    fn anchored_pairs_start_at_sources() {
+        let g = generators::cycle(20);
+        let mut rng = StdRng::seed_from_u64(5);
+        let sources = vec![VertexId(3), VertexId(11)];
+        let pairs = select_pairs_anchored(&g, &sources, 40, &mut rng);
+        assert_eq!(pairs.len(), 40);
+        assert!(pairs.iter().all(|(u, v)| sources.contains(u) && u != v));
+        assert!(select_pairs_anchored(&g, &[], 10, &mut rng).is_empty());
+    }
+
+    #[test]
+    fn sampled_oracle_evaluation_matches_dense_ground_truth() {
+        // The full-table scheme routes exactly, so stretch must be exactly
+        // 1.0 under either ground-truth backend.
+        let g = generators::grid(5, 5);
+        let scheme = FullTable::new(&g);
+        let mut rng = StdRng::seed_from_u64(11);
+        let oracle = SampledDistances::sample(&g, 6, &mut rng);
+        let report = evaluate_sampled(&g, &scheme, &oracle, 200, &mut rng).unwrap();
+        assert_eq!(report.pairs, 200);
+        assert_eq!(report.stretch.max_multiplicative(), Some(1.0));
+        assert_eq!(oracle.ondemand_searches(), 0, "anchored pairs are always covered");
     }
 }

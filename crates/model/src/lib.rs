@@ -26,6 +26,9 @@ pub mod stale;
 pub mod stats;
 
 pub use error::RouteError;
+pub use eval::{
+    evaluate, evaluate_pairs, evaluate_sampled, sample_pairs_from, select_pairs_anchored,
+};
 pub use scheme::{Decision, HeaderSize, RoutingScheme};
 pub use simulator::{simulate, simulate_with_ttl, RouteOutcome};
 pub use stale::{route_pairs_lossy, sample_alive_pairs, FailureBreakdown, ResilienceReport};

@@ -27,8 +27,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
-use routing_graph::apsp::DistanceMatrix;
-use routing_graph::{Graph, VertexId, Weight};
+use routing_graph::{DistanceOracle, Graph, VertexId, Weight};
 
 use crate::scheme::{Decision, RoutingScheme};
 use crate::stats::StretchStats;
@@ -141,17 +140,20 @@ impl ResilienceReport {
 /// Routes every pair of `pairs` through `scheme` on `g`, recording failures
 /// instead of propagating them.
 ///
-/// `exact` must be the distance matrix of `g` (the evaluation graph — for
-/// stale-table experiments that is the *mutated* graph, so stretch is
-/// measured against what an oracle rebuilt on the spot could achieve).
+/// `exact` must be a ground-truth oracle **for `g`** (the evaluation graph —
+/// for stale-table experiments that is the *mutated* graph, so stretch is
+/// measured against what an oracle rebuilt on the spot could achieve). The
+/// churn harness passes a [`routing_graph::SampledDistances`] built from the
+/// pairs' distinct sources, which keeps the per-round ground-truth cost at
+/// `O(|sources|·(m + n log n))` instead of the dense matrix's `O(n^2)`.
 ///
 /// Both endpoints of every pair must be vertices the scheme was built for
 /// (`id < scheme.n()`); [`sample_alive_pairs`] over a mask restricted to
 /// known vertices guarantees this.
-pub fn route_pairs_lossy<S: RoutingScheme>(
+pub fn route_pairs_lossy<S: RoutingScheme, O: DistanceOracle>(
     g: &Graph,
     scheme: &S,
-    exact: &DistanceMatrix,
+    exact: &O,
     pairs: &[(VertexId, VertexId)],
 ) -> ResilienceReport {
     let mut report = ResilienceReport {
@@ -162,7 +164,7 @@ pub fn route_pairs_lossy<S: RoutingScheme>(
         stretch: StretchStats::new(),
     };
     for &(u, v) in pairs {
-        let true_dist = match exact.dist(u, v) {
+        let true_dist = match exact.distance(u, v) {
             Some(d) => d,
             None => {
                 report.disconnected_pairs += 1;
@@ -257,6 +259,7 @@ mod tests {
     use crate::RouteError;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use routing_graph::apsp::DistanceMatrix;
     use routing_graph::generators;
     use routing_graph::mutate::{apply_events, ChurnEvent};
     use routing_graph::shortest_path::dijkstra;

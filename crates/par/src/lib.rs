@@ -1,0 +1,200 @@
+//! A minimal, std-only parallel executor for the embarrassingly parallel
+//! fan-outs of the preprocessing phases: per-source Dijkstra runs, per-vertex
+//! ball searches, per-landmark tree constructions.
+//!
+//! # Design
+//!
+//! The executor is deliberately *not* a work-stealing runtime. Every
+//! [`par_map_index`] call spawns scoped threads ([`std::thread::scope`]) that
+//! claim contiguous index chunks from a shared atomic counter and run the
+//! user's closure on each index. Chunked claiming gives dynamic load
+//! balancing (a thread that drew cheap vertices simply claims the next chunk)
+//! without queues, channels, or vendored dependencies — the work items here
+//! are individual graph searches costing `O(m + n log n)` each, so the cost
+//! of one `fetch_add` per chunk is noise.
+//!
+//! # Determinism
+//!
+//! Results are always assembled **in index order**, so for a pure closure the
+//! output is byte-for-byte identical to the sequential
+//! `(0..n).map(f).collect()` regardless of the thread count. This is the
+//! invariant the scheme builders rely on: a table built with `--threads 8`
+//! must be *bit-identical* to one built with `--threads 1` for the same seed
+//! (randomness never crosses a thread boundary — sampling happens on the
+//! caller's thread, only deterministic searches fan out). The property tests
+//! in `tests/properties.rs` assert exactly this.
+//!
+//! # Configuring the thread count
+//!
+//! The executor reads a process-wide thread count ([`threads`]) that
+//! defaults to [`available_threads`] (the hardware parallelism) and can be
+//! overridden with [`set_threads`] — the `--threads` flag of the experiment
+//! binaries does just that. `threads() == 1` bypasses spawning entirely and
+//! runs the closure on the calling thread, so single-threaded runs have zero
+//! executor overhead.
+//!
+//! # Example
+//!
+//! ```
+//! // Square the numbers 0..1000 on all available cores.
+//! let squares = routing_par::par_map_index(1000, |i| i * i);
+//! assert_eq!(squares[31], 961);
+//! // Identical to the sequential result, whatever the thread count.
+//! assert_eq!(squares, (0..1000).map(|i| i * i).collect::<Vec<_>>());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Process-wide thread count; `0` means "not set, use hardware parallelism".
+static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// The parallelism the hardware offers ([`std::thread::available_parallelism`]),
+/// falling back to 1 when the platform cannot report it.
+pub fn available_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Sets the process-wide thread count used by [`par_map_index`] and
+/// [`par_map`]. Values are clamped to at least 1; `set_threads(1)` forces
+/// fully sequential execution.
+///
+/// Because the computations dispatched through this crate are deterministic
+/// in their inputs, changing the thread count never changes any result —
+/// only wall-clock time.
+pub fn set_threads(n: usize) {
+    THREADS.store(n.max(1), Ordering::Relaxed);
+}
+
+/// The currently configured thread count: the last [`set_threads`] value, or
+/// [`available_threads`] if never set.
+pub fn threads() -> usize {
+    match THREADS.load(Ordering::Relaxed) {
+        0 => available_threads(),
+        n => n,
+    }
+}
+
+/// Applies `f` to every index in `0..n` and returns the results in index
+/// order, fanning the work out over [`threads`] scoped threads.
+///
+/// Equivalent to `(0..n).map(f).collect()` — including byte-for-byte when
+/// `f` is pure — but wall-clock scales with the core count. Panics in `f`
+/// propagate to the caller (the scope re-raises them on join).
+pub fn par_map_index<U, F>(n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    par_map_index_with(threads(), n, f)
+}
+
+/// [`par_map_index`] with an explicit thread count, ignoring the global
+/// setting. Used by the scaling harness to compare `threads=1` against
+/// `threads=T` inside one process without racing on the global.
+pub fn par_map_index_with<U, F>(threads: usize, n: usize, f: F) -> Vec<U>
+where
+    U: Send,
+    F: Fn(usize) -> U + Sync,
+{
+    let workers = threads.max(1).min(n);
+    if workers <= 1 {
+        return (0..n).map(f).collect();
+    }
+    // Small chunks give load balancing; 8 chunks per worker keeps the tail
+    // short while bounding claim traffic to O(workers) atomic ops.
+    let chunk = n.div_ceil(workers * 8).max(1);
+    let counter = AtomicUsize::new(0);
+    let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, Vec<U>)> = Vec::new();
+                loop {
+                    let start = counter.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= n {
+                        break;
+                    }
+                    let end = (start + chunk).min(n);
+                    local.push((start, (start..end).map(&f).collect()));
+                }
+                done.lock().expect("no panicked holder").extend(local);
+            });
+        }
+    });
+    let mut chunks = done.into_inner().expect("scope joined every worker");
+    chunks.sort_unstable_by_key(|&(start, _)| start);
+    debug_assert_eq!(chunks.iter().map(|(_, c)| c.len()).sum::<usize>(), n);
+    let mut out = Vec::with_capacity(n);
+    for (_, mut c) in chunks {
+        out.append(&mut c);
+    }
+    out
+}
+
+/// Applies `f` to every element of `items` in parallel, returning results in
+/// input order. See [`par_map_index`] for the determinism guarantee.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_index(items.len(), |i| f(&items[i]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_sequential_for_every_thread_count() {
+        let expect: Vec<usize> = (0..997).map(|i| i * 7 + 3).collect();
+        for t in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map_index_with(t, 997, |i| i * 7 + 3), expect, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert!(par_map_index_with(8, 0, |i| i).is_empty());
+        assert_eq!(par_map_index_with(8, 1, |i| i + 1), vec![1]);
+        assert_eq!(par_map_index_with(8, 2, |i| i), vec![0, 1]);
+    }
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<String> = (0..100).map(|i| format!("v{i}")).collect();
+        let lens = par_map(&items, |s| s.len());
+        assert_eq!(lens[0], 2);
+        assert_eq!(lens[10], 3);
+        assert_eq!(lens.len(), 100);
+    }
+
+    #[test]
+    fn global_thread_count_round_trips() {
+        // Other tests in this binary do not touch the global, so this is
+        // race-free in practice; results are thread-count independent anyway.
+        let before = threads();
+        set_threads(3);
+        assert_eq!(threads(), 3);
+        set_threads(0); // clamps to 1
+        assert_eq!(threads(), 1);
+        set_threads(before);
+        assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let _ = par_map_index_with(4, 64, |i| {
+            if i == 33 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+}

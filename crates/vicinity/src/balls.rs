@@ -25,21 +25,28 @@ pub struct BallTable {
 
 impl BallTable {
     /// Computes `B(u, ℓ)` for every vertex `u` of `g`, together with the
-    /// first-hop ports Lemma 2 stores.
+    /// first-hop ports Lemma 2 stores. The per-vertex ball searches are
+    /// independent, so they fan out over [`routing_par::threads`] threads;
+    /// the resulting table is identical for every thread count.
     pub fn build(g: &Graph, ell: usize) -> Self {
+        let per_vertex: Vec<(Ball, HashMap<VertexId, Port>)> =
+            routing_par::par_map_index(g.n(), |i| {
+                let u = VertexId(i as u32);
+                let b = ball(g, u, ell);
+                let mut port_map = HashMap::with_capacity(b.len());
+                for &(v, _) in b.members() {
+                    if v == u {
+                        continue;
+                    }
+                    let hop = b.first_hop(v).expect("non-center members have a first hop");
+                    let port = g.port_to(u, hop).expect("first hop is a neighbour");
+                    port_map.insert(v, port);
+                }
+                (b, port_map)
+            });
         let mut balls = Vec::with_capacity(g.n());
         let mut ports = Vec::with_capacity(g.n());
-        for u in g.vertices() {
-            let b = ball(g, u, ell);
-            let mut port_map = HashMap::with_capacity(b.len());
-            for &(v, _) in b.members() {
-                if v == u {
-                    continue;
-                }
-                let hop = b.first_hop(v).expect("non-center members have a first hop");
-                let port = g.port_to(u, hop).expect("first hop is a neighbour");
-                port_map.insert(v, port);
-            }
+        for (b, port_map) in per_vertex {
             balls.push(b);
             ports.push(port_map);
         }

@@ -119,10 +119,14 @@ pub fn sample_centers_bounded<R: Rng>(g: &Graph, s: usize, rng: &mut R) -> Landm
         a.extend(newly);
         let landmarks = Landmarks::new(g, a.clone());
         a = landmarks.members().to_vec();
-        w = g
-            .vertices()
-            .filter(|&v| cluster_dijkstra(g, v, landmarks.bound_slice()).len() > limit)
-            .collect();
+        // The per-vertex cluster-size checks dominate the sampling loop; they
+        // are independent restricted searches, so fan them out. Sampling
+        // itself stays on this thread, keeping rng consumption (and thus the
+        // chosen set) identical for every thread count.
+        let too_large: Vec<bool> = routing_par::par_map_index(n, |v| {
+            cluster_dijkstra(g, VertexId(v as u32), landmarks.bound_slice()).len() > limit
+        });
+        w = g.vertices().filter(|v| too_large[v.index()]).collect();
         if a.len() == n {
             break;
         }
@@ -131,9 +135,11 @@ pub fn sample_centers_bounded<R: Rng>(g: &Graph, s: usize, rng: &mut R) -> Landm
 }
 
 /// Computes the cluster tree `T_{C_A(w)}` of every vertex `w`, indexed by
-/// vertex id.
+/// vertex id. One restricted search per vertex, run in parallel.
 pub fn all_clusters(g: &Graph, landmarks: &Landmarks) -> Vec<RestrictedTree> {
-    g.vertices().map(|w| cluster_dijkstra(g, w, landmarks.bound_slice())).collect()
+    routing_par::par_map_index(g.n(), |w| {
+        cluster_dijkstra(g, VertexId(w as u32), landmarks.bound_slice())
+    })
 }
 
 /// Inverts clusters into bunches: `bunches(g, clusters)[v]` lists every
@@ -157,10 +163,12 @@ pub fn bunches(g: &Graph, clusters: &[RestrictedTree]) -> Vec<Vec<(VertexId, Wei
 
 /// Convenience: the largest cluster size for a landmark set.
 pub fn max_cluster_size(g: &Graph, landmarks: &Landmarks) -> usize {
-    g.vertices()
-        .map(|w| cluster_dijkstra(g, w, landmarks.bound_slice()).len())
-        .max()
-        .unwrap_or(0)
+    routing_par::par_map_index(g.n(), |w| {
+        cluster_dijkstra(g, VertexId(w as u32), landmarks.bound_slice()).len()
+    })
+    .into_iter()
+    .max()
+    .unwrap_or(0)
 }
 
 /// Picks `k` vertices uniformly at random (without replacement) — the

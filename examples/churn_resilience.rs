@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         RebuildPolicy::EveryK(2),
         RebuildPolicy::ReachabilityBelow(0.9),
     ] {
-        let cfg = ChurnExperimentConfig { pairs_per_round: 1500, policy, seed: 7 };
+        let cfg = ChurnExperimentConfig { pairs_per_round: 1500, sources_per_round: 0, policy, seed: 7 };
         let result = run_churn(&g, &plan, &cfg, |g: &Graph| {
             let mut rng = StdRng::seed_from_u64(11);
             Ok(TzRoutingScheme::build(g, 2, &mut rng))

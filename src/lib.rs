@@ -5,8 +5,13 @@
 //! re-exports the public API of the member crates so applications can depend
 //! on a single crate:
 //!
+//! * [`par`] — the std-only scoped-thread executor every preprocessing
+//!   phase fans out over (`set_threads` / `par_map`); results are
+//!   bit-identical for every thread count.
 //! * [`graph`] — graph substrate (CSR graphs with fixed ports, shortest
-//!   paths, synthetic generators, exact APSP).
+//!   paths, synthetic generators, exact APSP behind the
+//!   [`graph::DistanceOracle`] trait, and the scalable
+//!   [`graph::SampledDistances`] ground truth).
 //! * [`model`] — the labeled fixed-port routing model: the
 //!   [`model::RoutingScheme`] trait, the message simulator, and
 //!   stretch/space statistics.
@@ -44,6 +49,7 @@ pub use routing_churn as churn;
 pub use routing_core as core;
 pub use routing_graph as graph;
 pub use routing_model as model;
+pub use routing_par as par;
 pub use routing_tree as tree;
 pub use routing_vicinity as vicinity;
 
@@ -54,6 +60,8 @@ pub mod prelude {
     };
     pub use routing_core::{BuildError, Params, SchemeThreePlusEps};
     pub use routing_graph::generators;
-    pub use routing_graph::{Graph, GraphBuilder, VertexId, Weight};
+    pub use routing_graph::{
+        DistanceOracle, Graph, GraphBuilder, SampledDistances, VertexId, Weight,
+    };
     pub use routing_model::{simulate, Decision, RouteError, RoutingScheme};
 }

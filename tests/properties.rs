@@ -10,7 +10,7 @@ use routing_graph::apsp::DistanceMatrix;
 use routing_graph::generators::{self, WeightModel};
 use routing_graph::mutate::apply_events;
 use routing_graph::shortest_path::dijkstra;
-use routing_graph::{Graph, VertexId};
+use routing_graph::{Graph, SampledDistances, VertexId};
 use routing_model::simulate;
 use routing_vicinity::BallTable;
 
@@ -172,6 +172,103 @@ proptest! {
             prop_assert_eq!(&m.graph, &g);
             prop_assert!(m.alive.iter().all(|&a| a));
             prop_assert_eq!(m.stats.port_preservation(), 1.0);
+        }
+    }
+
+    /// The sampled ground-truth oracle agrees **exactly** with the dense
+    /// distance matrix on every pair — covered pairs via stored rows and
+    /// uncovered pairs via its on-demand search path alike.
+    #[test]
+    fn sampled_oracle_matches_dense_matrix((g, seed) in arb_graph(), k in 1usize..16) {
+        let matrix = DistanceMatrix::new(&g);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xface);
+        let oracle = SampledDistances::sample(&g, k, &mut rng);
+        for u in g.vertices() {
+            for v in g.vertices() {
+                prop_assert_eq!(oracle.dist(u, v), matrix.dist(u, v),
+                    "oracle disagrees with matrix on ({u}, {v})");
+            }
+        }
+    }
+}
+
+/// Serializes the tests that flip the process-wide `routing_par` thread
+/// count. Without this lock, libtest's concurrency could let one identity
+/// test raise the global between another's `set_threads(1)` and its build —
+/// both builds would then be parallel and a seq/par divergence could pass
+/// undetected.
+static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+/// Builds a scheme once with 1 worker thread and once with 4, from the same
+/// seed, and asserts the results are indistinguishable: identical per-vertex
+/// table/label word counts and identical routed paths (weight and hop count)
+/// for every sampled pair. This is the bit-identity contract `routing_par`
+/// documents: parallelism changes wall-clock only, never what gets built.
+fn assert_threads_invariant<S, F>(g: &Graph, build: F)
+where
+    S: routing_model::RoutingScheme,
+    F: Fn() -> S,
+{
+    routing_par::set_threads(1);
+    let seq = build();
+    routing_par::set_threads(4);
+    let par = build();
+    routing_par::set_threads(routing_par::available_threads());
+    for v in g.vertices() {
+        assert_eq!(seq.table_words(v), par.table_words(v), "table words differ at {v}");
+        assert_eq!(seq.label_words(v), par.label_words(v), "label words differ at {v}");
+    }
+    for u in g.vertices().step_by(7) {
+        for v in g.vertices().step_by(5) {
+            if u == v {
+                continue;
+            }
+            let a = simulate(g, &seq, u, v).unwrap();
+            let b = simulate(g, &par, u, v).unwrap();
+            assert_eq!(a.weight, b.weight, "routed weight differs for {u}->{v}");
+            assert_eq!(a.hops, b.hops, "hop count differs for {u}->{v}");
+        }
+    }
+}
+
+#[test]
+fn parallel_and_sequential_scheme_builds_are_identical() {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut gen_rng = StdRng::seed_from_u64(33);
+    let g = generators::erdos_renyi(
+        130,
+        0.05,
+        WeightModel::Uniform { lo: 1, hi: 8 },
+        &mut gen_rng,
+    );
+    let params = Params::with_epsilon(0.5);
+    assert_threads_invariant(&g, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        SchemeThreePlusEps::build(&g, &params, &mut rng).unwrap()
+    });
+    assert_threads_invariant(&g, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        SchemeFivePlusEps::build(&g, &params, &mut rng).unwrap()
+    });
+    assert_threads_invariant(&g, || {
+        let mut rng = StdRng::seed_from_u64(7);
+        routing_baselines::TzRoutingScheme::build(&g, 2, &mut rng)
+    });
+}
+
+#[test]
+fn parallel_and_sequential_ground_truth_are_identical() {
+    let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let mut gen_rng = StdRng::seed_from_u64(44);
+    let g = generators::erdos_renyi(90, 0.07, WeightModel::Unit, &mut gen_rng);
+    routing_par::set_threads(1);
+    let seq = DistanceMatrix::new(&g);
+    routing_par::set_threads(4);
+    let par = DistanceMatrix::new(&g);
+    routing_par::set_threads(routing_par::available_threads());
+    for u in g.vertices() {
+        for v in g.vertices() {
+            assert_eq!(seq.dist(u, v), par.dist(u, v));
         }
     }
 }
