@@ -18,6 +18,7 @@
 //! measured against. The `n` per-destination Dijkstra runs fan out over
 //! [`routing_par::threads`] worker threads.
 
+use routing_core::{BuildContext, BuildError, SchemeBuilder};
 use routing_graph::shortest_path::dijkstra;
 use routing_graph::{Graph, Port, VertexId};
 use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
@@ -34,8 +35,18 @@ pub struct ExactScheme {
 impl ExactScheme {
     /// Preprocesses full routing tables with `n` Dijkstra runs, fanned out
     /// over [`routing_par::threads`] threads.
-    pub fn build(g: &Graph) -> Self {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BuildError::TooSmall`] on an empty graph (there is nothing
+    /// to route between).
+    pub fn build(g: &Graph) -> Result<Self, BuildError> {
         let n = g.n();
+        if n == 0 {
+            return Err(BuildError::TooSmall {
+                what: "exact routing needs at least one vertex".into(),
+            });
+        }
         // Column v of the table comes from the tree rooted at v: the parent
         // of u in that tree is the next hop on a shortest path from u to v.
         let columns: Vec<Vec<Option<Port>>> = routing_par::par_map_index(n, |v| {
@@ -57,7 +68,21 @@ impl ExactScheme {
                 next[u][v] = column[u];
             }
         }
-        ExactScheme { n, next }
+        Ok(ExactScheme { n, next })
+    }
+}
+
+/// [`SchemeBuilder`] for [`ExactScheme`]; registry key `exact`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ExactBuilder;
+
+impl SchemeBuilder for ExactBuilder {
+    fn key(&self) -> &str {
+        "exact"
+    }
+
+    fn build(&self, g: &Graph, _ctx: &BuildContext) -> Result<Box<dyn routing_model::DynScheme>, BuildError> {
+        Ok(Box::new(ExactScheme::build(g)?))
     }
 }
 
@@ -75,8 +100,8 @@ impl RoutingScheme for ExactScheme {
     type Label = VertexId;
     type Header = ExactHeader;
 
-    fn name(&self) -> String {
-        "exact-shortest-path".into()
+    fn name(&self) -> &str {
+        "exact"
     }
 
     fn n(&self) -> usize {
@@ -133,7 +158,7 @@ mod tests {
     fn exact_routing_has_stretch_one() {
         let mut rng = StdRng::seed_from_u64(1);
         let g = generators::erdos_renyi(60, 0.08, WeightModel::Uniform { lo: 1, hi: 9 }, &mut rng);
-        let scheme = ExactScheme::build(&g);
+        let scheme = ExactScheme::build(&g).unwrap();
         let exact = DistanceMatrix::new(&g);
         for u in g.vertices().take(20) {
             for v in g.vertices() {
@@ -149,12 +174,12 @@ mod tests {
     #[test]
     fn exact_tables_are_linear_in_n() {
         let g = generators::cycle(40);
-        let scheme = ExactScheme::build(&g);
+        let scheme = ExactScheme::build(&g).unwrap();
         for v in g.vertices() {
             assert_eq!(scheme.table_words(v), 39);
             assert_eq!(scheme.label_words(v), 1);
         }
-        assert_eq!(scheme.name(), "exact-shortest-path");
+        assert_eq!(scheme.name(), "exact");
         assert_eq!(RoutingScheme::n(&scheme), 40);
     }
 
@@ -163,7 +188,7 @@ mod tests {
         let mut b = routing_graph::GraphBuilder::new(3);
         b.add_unit_edge(0, 1).unwrap();
         let g = b.build();
-        let scheme = ExactScheme::build(&g);
+        let scheme = ExactScheme::build(&g).unwrap();
         let err = simulate(&g, &scheme, VertexId(0), VertexId(2)).unwrap_err();
         assert!(matches!(err, RouteError::MissingInformation { .. }));
     }

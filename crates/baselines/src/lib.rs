@@ -17,6 +17,6 @@ pub mod exact;
 pub mod spanner;
 pub mod tz;
 
-pub use exact::ExactScheme;
-pub use spanner::greedy_spanner;
-pub use tz::{TzHierarchy, TzOracle, TzRoutingScheme};
+pub use exact::{ExactBuilder, ExactScheme};
+pub use spanner::{greedy_spanner, SpannerBuilder, SpannerScheme};
+pub use tz::{TzBuilder, TzHierarchy, TzOracle, TzRoutingScheme};

@@ -46,6 +46,7 @@ use std::collections::{HashMap, HashSet};
 
 use rand::Rng;
 
+use routing_core::{BuildContext, BuildError, SchemeBuilder};
 use routing_graph::shortest_path::{cluster_dijkstra, multi_source_dijkstra};
 use routing_graph::{Graph, VertexId, Weight, INFINITY};
 use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
@@ -79,13 +80,22 @@ impl TzHierarchy {
     /// vertex of the previous level with probability `n^{-1/k}`. Every level
     /// below `k` is forced to stay non-empty.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `k < 2` or the graph is empty.
-    pub fn build<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Self {
-        assert!(k >= 2, "thorup-zwick hierarchy needs k >= 2");
+    /// Returns [`BuildError::BadParameter`] if `k < 2` and
+    /// [`BuildError::TooSmall`] on an empty graph.
+    pub fn build<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Result<Self, BuildError> {
+        if k < 2 {
+            return Err(BuildError::BadParameter {
+                what: format!("thorup-zwick hierarchy needs k >= 2, got {k}"),
+            });
+        }
         let n = g.n();
-        assert!(n > 0, "graph must have at least one vertex");
+        if n == 0 {
+            return Err(BuildError::TooSmall {
+                what: "thorup-zwick hierarchy needs at least one vertex".into(),
+            });
+        }
         let p = (n as f64).powf(-1.0 / k as f64);
 
         // Levels.
@@ -164,7 +174,7 @@ impl TzHierarchy {
             bunch.sort_unstable_by_key(|&(w, d)| (d, w));
         }
 
-        TzHierarchy { k, n, levels, pivots, level_of, bunches, cluster_trees }
+        Ok(TzHierarchy { k, n, levels, pivots, level_of, bunches, cluster_trees })
     }
 
     /// The parameter `k`.
@@ -228,8 +238,12 @@ impl TzOracle {
     }
 
     /// Builds the hierarchy and the oracle in one step.
-    pub fn build<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Self {
-        Self::new(TzHierarchy::build(g, k, rng))
+    ///
+    /// # Errors
+    ///
+    /// As [`TzHierarchy::build`].
+    pub fn build<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Result<Self, BuildError> {
+        Ok(Self::new(TzHierarchy::build(g, k, rng)?))
     }
 
     /// The underlying hierarchy.
@@ -301,6 +315,8 @@ impl HeaderSize for TzHeader {
 /// The Thorup–Zwick `(4k−5)`-stretch compact routing scheme \[21\].
 #[derive(Debug, Clone)]
 pub struct TzRoutingScheme {
+    /// Cached scheme name: the registry key `tz<k>` (`tz2`, `tz3`, ...).
+    name: String,
     hierarchy: TzHierarchy,
     /// Bunch membership for O(1) routing decisions at the source.
     bunch_set: Vec<HashSet<VertexId>>,
@@ -314,12 +330,16 @@ impl TzRoutingScheme {
             .iter()
             .map(|b| b.iter().map(|&(w, _)| w).collect())
             .collect();
-        TzRoutingScheme { hierarchy, bunch_set }
+        TzRoutingScheme { name: format!("tz{}", hierarchy.k()), hierarchy, bunch_set }
     }
 
     /// Builds the hierarchy and the scheme in one step.
-    pub fn build<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Self {
-        Self::new(TzHierarchy::build(g, k, rng))
+    ///
+    /// # Errors
+    ///
+    /// As [`TzHierarchy::build`].
+    pub fn build<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Result<Self, BuildError> {
+        Ok(Self::new(TzHierarchy::build(g, k, rng)?))
     }
 
     /// The underlying hierarchy.
@@ -337,8 +357,8 @@ impl RoutingScheme for TzRoutingScheme {
     type Label = TzLabel;
     type Header = TzHeader;
 
-    fn name(&self) -> String {
-        format!("tz-(4k-5)(k={})", self.hierarchy.k())
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn n(&self) -> usize {
@@ -431,6 +451,31 @@ impl RoutingScheme for TzRoutingScheme {
     }
 }
 
+/// [`SchemeBuilder`] for the Thorup–Zwick `(4k−5)` routing scheme; its
+/// registry key is `tz<k>` (the two Table 1 rows are `tz2` and `tz3`).
+#[derive(Debug, Clone)]
+pub struct TzBuilder {
+    k: usize,
+    key: String,
+}
+
+impl TzBuilder {
+    /// A builder for the given level count `k ≥ 2`.
+    pub fn new(k: usize) -> Self {
+        TzBuilder { k, key: format!("tz{k}") }
+    }
+}
+
+impl SchemeBuilder for TzBuilder {
+    fn key(&self) -> &str {
+        &self.key
+    }
+
+    fn build(&self, g: &Graph, ctx: &BuildContext) -> Result<Box<dyn routing_model::DynScheme>, BuildError> {
+        Ok(Box::new(TzRoutingScheme::build(g, self.k, &mut ctx.rng())?))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,7 +494,7 @@ mod tests {
     fn hierarchy_levels_are_nested_and_nonempty() {
         let g = weighted_graph(80, 1);
         let mut rng = StdRng::seed_from_u64(2);
-        let h = TzHierarchy::build(&g, 3, &mut rng);
+        let h = TzHierarchy::build(&g, 3, &mut rng).unwrap();
         assert_eq!(h.k(), 3);
         assert_eq!(h.levels().len(), 3);
         assert_eq!(h.levels()[0].len(), 80);
@@ -470,7 +515,7 @@ mod tests {
     fn bunch_and_cluster_are_dual() {
         let g = weighted_graph(60, 3);
         let mut rng = StdRng::seed_from_u64(4);
-        let h = TzHierarchy::build(&g, 2, &mut rng);
+        let h = TzHierarchy::build(&g, 2, &mut rng).unwrap();
         for v in g.vertices() {
             for &(w, d) in h.bunch(v) {
                 assert!(h.cluster_tree(w).contains(v));
@@ -486,7 +531,7 @@ mod tests {
         let exact = DistanceMatrix::new(&g);
         for k in [2usize, 3] {
             let mut rng = StdRng::seed_from_u64(6 + k as u64);
-            let oracle = TzOracle::build(&g, k, &mut rng);
+            let oracle = TzOracle::build(&g, k, &mut rng).unwrap();
             for u in g.vertices() {
                 for v in g.vertices() {
                     let est = oracle.query(u, v);
@@ -509,7 +554,7 @@ mod tests {
         let exact = DistanceMatrix::new(&g);
         for k in [2usize, 3] {
             let mut rng = StdRng::seed_from_u64(8 + k as u64);
-            let scheme = TzRoutingScheme::build(&g, k, &mut rng);
+            let scheme = TzRoutingScheme::build(&g, k, &mut rng).unwrap();
             assert_eq!(scheme.stretch_bound(), 4 * k - 5);
             for u in g.vertices() {
                 for v in g.vertices() {
@@ -532,8 +577,8 @@ mod tests {
     fn routing_tables_shrink_with_larger_k() {
         let g = weighted_graph(100, 9);
         let mut rng = StdRng::seed_from_u64(10);
-        let s2 = TzRoutingScheme::build(&g, 2, &mut rng);
-        let s3 = TzRoutingScheme::build(&g, 3, &mut rng);
+        let s2 = TzRoutingScheme::build(&g, 2, &mut rng).unwrap();
+        let s3 = TzRoutingScheme::build(&g, 3, &mut rng).unwrap();
         let max2: usize = g.vertices().map(|v| s2.table_words(v)).max().unwrap();
         let max3: usize = g.vertices().map(|v| s3.table_words(v)).max().unwrap();
         // k=3 trades stretch for noticeably smaller tables on average; allow
@@ -542,7 +587,8 @@ mod tests {
         let mean3: f64 = g.vertices().map(|v| s3.table_words(v)).sum::<usize>() as f64 / 100.0;
         assert!(mean3 < mean2 * 1.5, "mean table size should not grow much: {mean3} vs {mean2}");
         assert!(max2 > 0 && max3 > 0);
-        assert!(s2.name().contains("k=2"));
+        assert_eq!(s2.name(), "tz2");
+        assert_eq!(s3.name(), "tz3");
         for v in g.vertices().take(5) {
             assert!(s2.label_words(v) >= 3);
         }
@@ -552,7 +598,7 @@ mod tests {
     fn self_route_and_metadata() {
         let g = generators::grid(5, 5);
         let mut rng = StdRng::seed_from_u64(11);
-        let scheme = TzRoutingScheme::build(&g, 2, &mut rng);
+        let scheme = TzRoutingScheme::build(&g, 2, &mut rng).unwrap();
         let out = simulate(&g, &scheme, VertexId(3), VertexId(3)).unwrap();
         assert_eq!(out.hops, 0);
         assert_eq!(RoutingScheme::n(&scheme), 25);

@@ -38,13 +38,13 @@ fn bench_preprocessing(c: &mut Criterion) {
     group.bench_with_input(BenchmarkId::new("tz_k2", n), &n, |b, _| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
-            TzRoutingScheme::build(&weighted, 2, &mut rng)
+            TzRoutingScheme::build(&weighted, 2, &mut rng).unwrap()
         })
     });
     group.bench_with_input(BenchmarkId::new("tz_k3", n), &n, |b, _| {
         b.iter(|| {
             let mut rng = StdRng::seed_from_u64(2);
-            TzRoutingScheme::build(&weighted, 3, &mut rng)
+            TzRoutingScheme::build(&weighted, 3, &mut rng).unwrap()
         })
     });
     group.finish();

@@ -20,8 +20,8 @@ fn bench_routing(c: &mut Criterion) {
     let thm10 = SchemeTwoPlusEps::build(&unweighted, &params, &mut rng).expect("thm10");
     let thm11 = SchemeFivePlusEps::build(&weighted, &params, &mut rng).expect("thm11");
     let warmup = SchemeThreePlusEps::build(&weighted, &params, &mut rng).expect("warmup");
-    let tz2 = TzRoutingScheme::build(&weighted, 2, &mut rng);
-    let exact = ExactScheme::build(&weighted);
+    let tz2 = TzRoutingScheme::build(&weighted, 2, &mut rng).unwrap();
+    let exact = ExactScheme::build(&weighted).unwrap();
 
     let pairs: Vec<(VertexId, VertexId)> = (0..64)
         .map(|_| {

@@ -2,12 +2,17 @@
 //! the Lemma 5 hitting-set construction (greedy vs. randomized) and the ball
 //! scaling constant `α` in `q̃ = α·q·log n`.
 //!
+//! Every variant is one `BuildContext` (different `Params`) against the same
+//! registry entry (`warmup`), so the ablation sweep is pure data: no
+//! per-variant construction code.
+//!
 //! Run with: `cargo run -p routing-bench --release --bin ablations [n]`
 
+use compact_routing::registry::SchemeRegistry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use routing_bench::{evaluate_scheme, ExperimentConfig};
-use routing_core::{HittingStrategy, Params, SchemeThreePlusEps};
+use routing_core::{BuildContext, HittingStrategy, Params};
 use routing_graph::apsp::DistanceMatrix;
 use routing_graph::generators::{Family, WeightModel};
 
@@ -17,6 +22,7 @@ fn main() {
     let g = Family::ErdosRenyi.generate(n, WeightModel::Uniform { lo: 1, hi: 16 }, &mut rng);
     let exact = DistanceMatrix::new(&g);
     let cfg = ExperimentConfig { n, epsilon: 0.25, seed: 23, pairs: Some(2000) };
+    let registry = SchemeRegistry::with_defaults();
 
     println!("ablations on the warm-up (3+eps) scheme, n={n}");
     println!(
@@ -31,10 +37,10 @@ fn main() {
         ("ball scale 2.0".into(), Params { ball_scale: 2.0, ..cfg.params() }),
     ];
     for (name, params) in variants {
-        let mut rng = StdRng::seed_from_u64(23);
-        match SchemeThreePlusEps::build(&g, &params, &mut rng) {
+        let ctx = BuildContext { params, seed: 23, threads: routing_par::threads() };
+        match registry.build("warmup", &g, &ctx) {
             Ok(scheme) => {
-                let r = evaluate_scheme(&g, &scheme, &exact, &cfg).expect("eval");
+                let r = evaluate_scheme(&g, scheme.as_ref(), &exact, &cfg).expect("eval");
                 println!(
                     "{:<28} {:>10.3} {:>10.3} {:>12} {:>10.1}",
                     name,

@@ -4,9 +4,15 @@
 //!
 //! For every (scheme × removal mode × rebuild policy) combination the
 //! harness runs the seeded churn schedule, routes sampled pairs through the
-//! **stale** tables on the **mutated** graph each round, and prints a
-//! per-round table plus a final summary (the DRFE-style resilience table):
+//! **stale** tables on the **mutated** graph, and prints a per-round table
+//! plus a final summary (the DRFE-style resilience table):
 //! `strategy × removal-mode → reachability / stretch / rebuild-ms`.
+//!
+//! Schemes are selected by registry name and built through
+//! `compact_routing::SchemeRegistry` — `run_churn` receives a closure over
+//! `registry.build(name, g, ctx)`, so this binary contains no per-scheme
+//! construction code and any newly registered scheme is immediately
+//! churn-testable.
 //!
 //! Run with: `cargo run -p routing-bench --release --bin churn -- [OPTIONS]`
 //!
@@ -26,7 +32,7 @@
 //! | `--threads <T>` | 0 | preprocessing/ground-truth threads (0 = all hardware threads) |
 //! | `--epsilon <E>` | 0.5 | stretch slack for the paper's schemes |
 //! | `--seed <S>` | 7 | master seed (schedules and pair samples derive from it) |
-//! | `--schemes <LIST>` | `tz2,warmup,thm11` | comma list of `tz2`, `tz3`, `warmup`, `thm10`, `thm11`, `exact` |
+//! | `--schemes <LIST>` | `tz2,warmup,thm11` | comma list of registered scheme names, or `all` |
 //! | `--modes <LIST>` | `random,targeted` | comma list of `random`, `targeted`, `degree-weighted` |
 //! | `--policies <LIST>` | `never,every-2,threshold-0.9` | comma list of `never`, `every-round`, `every-<k>`, `threshold-<x>` |
 //! | `--json <PATH>` | — | also write every run as a JSON array of `ChurnRunResult` |
@@ -42,17 +48,15 @@
 //! rebuild_ms, component_fraction, post: {n, m, reachability,
 //! mean_stretch}?}, ...]}`.
 
+use compact_routing::registry::SchemeRegistry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use routing_baselines::{ExactScheme, TzRoutingScheme};
+use routing_bench::cli::{self, Args, CliError};
 use routing_churn::{
     run_churn, ChurnExperimentConfig, ChurnPlanConfig, ChurnRunResult, RebuildPolicy, RemovalMode,
 };
-use routing_core::{Params, SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
+use routing_core::{BuildContext, Params};
 use routing_graph::generators::{Family, WeightModel};
-use routing_graph::Graph;
-
-const SCHEME_NAMES: [&str; 6] = ["tz2", "tz3", "warmup", "thm10", "thm11", "exact"];
 
 struct Options {
     n: usize,
@@ -126,7 +130,7 @@ OPTIONS:
   --threads <T>           worker threads (0 = all hardware)     [default: 0]
   --epsilon <E>           epsilon of the paper's schemes        [default: 0.5]
   --seed <S>              master seed                           [default: 7]
-  --schemes <LIST>        tz2,tz3,warmup,thm10,thm11,exact      [default: tz2,warmup,thm11]
+  --schemes <LIST>        registered scheme names, or 'all'     [default: tz2,warmup,thm11]
   --modes <LIST>          random,targeted,degree-weighted       [default: random,targeted]
   --policies <LIST>       never,every-round,every-<k>,threshold-<x>
                                                                 [default: never,every-2,threshold-0.9]
@@ -135,118 +139,80 @@ OPTIONS:
     );
 }
 
-fn parse_options() -> Options {
+fn parse_options(registry: &SchemeRegistry) -> Options {
     let mut opts = Options::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
+    let mut args = Args::from_env();
+    while let Some(flag) = args.next_flag() {
         if flag == "--help" || flag == "-h" {
             print_usage();
             std::process::exit(0);
         }
-        let Some(value) = args.next() else {
-            eprintln!("missing value for {flag}");
-            usage();
-        };
-        let bad = |what: &str| -> ! {
-            eprintln!("invalid value {value:?} for {flag}: {what}");
-            usage();
+        let value = cli::ok_or_usage(args.value(&flag), usage);
+        let invalid = |what: &str| -> CliError {
+            CliError::Invalid { flag: flag.clone(), value: value.clone(), what: what.to_string() }
         };
         match flag.as_str() {
-            "--n" => opts.n = value.parse().unwrap_or_else(|_| bad("expected an integer")),
-            "--family" => {
-                opts.family = match value.as_str() {
-                    "erdos-renyi" => Family::ErdosRenyi,
-                    "geometric" => Family::Geometric,
-                    "grid" => Family::Grid,
-                    "scale-free" => Family::ScaleFree,
-                    _ => bad("unknown family"),
-                }
+            "--n" => opts.n = cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage),
+            "--family" => opts.family = cli::ok_or_usage(cli::parse_family(&flag, &value), usage),
+            "--rounds" => {
+                opts.rounds = cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
             }
-            "--rounds" => opts.rounds = value.parse().unwrap_or_else(|_| bad("expected an integer")),
             "--remove-frac" => {
-                opts.remove_frac = value.parse().unwrap_or_else(|_| bad("expected a float"))
+                opts.remove_frac = cli::ok_or_usage(cli::parse_value(&flag, &value, "expected a float"), usage)
             }
-            "--add-frac" => opts.add_frac = value.parse().unwrap_or_else(|_| bad("expected a float")),
+            "--add-frac" => {
+                opts.add_frac = cli::ok_or_usage(cli::parse_value(&flag, &value, "expected a float"), usage)
+            }
             "--edge-remove-frac" => {
-                opts.edge_remove_frac = value.parse().unwrap_or_else(|_| bad("expected a float"))
+                opts.edge_remove_frac =
+                    cli::ok_or_usage(cli::parse_value(&flag, &value, "expected a float"), usage)
             }
             "--edge-add-frac" => {
-                opts.edge_add_frac = value.parse().unwrap_or_else(|_| bad("expected a float"))
+                opts.edge_add_frac =
+                    cli::ok_or_usage(cli::parse_value(&flag, &value, "expected a float"), usage)
             }
-            "--pairs" => opts.pairs = value.parse().unwrap_or_else(|_| bad("expected an integer")),
+            "--pairs" => {
+                opts.pairs = cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
+            }
             "--sources" => {
-                opts.sources = value.parse().unwrap_or_else(|_| bad("expected an integer"))
+                opts.sources = cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
             }
             "--threads" => {
-                opts.threads = value.parse().unwrap_or_else(|_| bad("expected an integer"))
+                opts.threads = cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
             }
-            "--epsilon" => opts.epsilon = value.parse().unwrap_or_else(|_| bad("expected a float")),
-            "--seed" => opts.seed = value.parse().unwrap_or_else(|_| bad("expected an integer")),
+            "--epsilon" => {
+                opts.epsilon = cli::ok_or_usage(cli::parse_value(&flag, &value, "expected a float"), usage)
+            }
+            "--seed" => {
+                opts.seed = cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
+            }
             "--schemes" => {
-                opts.schemes = value.split(',').map(str::to_string).collect();
-                for s in &opts.schemes {
-                    if !SCHEME_NAMES.contains(&s.as_str()) {
-                        bad("unknown scheme");
-                    }
-                }
+                opts.schemes =
+                    cli::ok_or_usage(cli::parse_schemes(&flag, &value, &registry.names()), usage)
             }
             "--modes" => {
-                opts.modes = value
-                    .split(',')
-                    .map(|m| RemovalMode::parse(m).unwrap_or_else(|| bad("unknown mode")))
-                    .collect()
+                opts.modes = cli::ok_or_usage(
+                    value
+                        .split(',')
+                        .map(|m| RemovalMode::parse(m).ok_or_else(|| invalid("unknown mode")))
+                        .collect::<Result<Vec<_>, _>>(),
+                    usage,
+                )
             }
             "--policies" => {
-                opts.policies = value
-                    .split(',')
-                    .map(|p| RebuildPolicy::parse(p).unwrap_or_else(|| bad("unknown policy")))
-                    .collect()
+                opts.policies = cli::ok_or_usage(
+                    value
+                        .split(',')
+                        .map(|p| RebuildPolicy::parse(p).ok_or_else(|| invalid("unknown policy")))
+                        .collect::<Result<Vec<_>, _>>(),
+                    usage,
+                )
             }
             "--json" => opts.json = Some(value),
-            _ => {
-                eprintln!("unknown flag {flag}");
-                usage();
-            }
+            _ => cli::die(CliError::UnknownFlag { flag }, usage),
         }
     }
     opts
-}
-
-/// Dispatches on the scheme name; each arm monomorphizes `run_churn` for
-/// its concrete scheme type.
-fn run_one(
-    scheme: &str,
-    base: &Graph,
-    plan_cfg: &ChurnPlanConfig,
-    cfg: &ChurnExperimentConfig,
-    epsilon: f64,
-    build_seed: u64,
-) -> Result<ChurnRunResult, String> {
-    let params = Params::with_epsilon(epsilon);
-    match scheme {
-        "tz2" => run_churn(base, plan_cfg, cfg, |g| {
-            let mut rng = StdRng::seed_from_u64(build_seed);
-            Ok(TzRoutingScheme::build(g, 2, &mut rng))
-        }),
-        "tz3" => run_churn(base, plan_cfg, cfg, |g| {
-            let mut rng = StdRng::seed_from_u64(build_seed);
-            Ok(TzRoutingScheme::build(g, 3, &mut rng))
-        }),
-        "warmup" => run_churn(base, plan_cfg, cfg, |g| {
-            let mut rng = StdRng::seed_from_u64(build_seed);
-            SchemeThreePlusEps::build(g, &params, &mut rng).map_err(|e| e.to_string())
-        }),
-        "thm10" => run_churn(base, plan_cfg, cfg, |g| {
-            let mut rng = StdRng::seed_from_u64(build_seed);
-            SchemeTwoPlusEps::build(g, &params, &mut rng).map_err(|e| e.to_string())
-        }),
-        "thm11" => run_churn(base, plan_cfg, cfg, |g| {
-            let mut rng = StdRng::seed_from_u64(build_seed);
-            SchemeFivePlusEps::build(g, &params, &mut rng).map_err(|e| e.to_string())
-        }),
-        "exact" => run_churn(base, plan_cfg, cfg, |g| Ok(ExactScheme::build(g))),
-        other => Err(format!("unknown scheme {other}")),
-    }
 }
 
 fn print_rounds(result: &ChurnRunResult) {
@@ -320,7 +286,8 @@ fn print_summary(results: &[ChurnRunResult]) {
 }
 
 fn main() {
-    let opts = parse_options();
+    let registry = SchemeRegistry::with_defaults();
+    let opts = parse_options(&registry);
     let threads =
         if opts.threads == 0 { routing_par::available_threads() } else { opts.threads };
     routing_par::set_threads(threads);
@@ -339,6 +306,11 @@ fn main() {
         threads,
     );
 
+    let build_ctx = BuildContext {
+        params: Params::with_epsilon(opts.epsilon),
+        seed: opts.seed ^ 0xb111d,
+        threads,
+    };
     let mut results: Vec<ChurnRunResult> = Vec::new();
     for (mode_idx, &mode) in opts.modes.iter().enumerate() {
         let plan_cfg = ChurnPlanConfig {
@@ -360,7 +332,11 @@ fn main() {
                     policy,
                     seed: opts.seed ^ 0xa11ce,
                 };
-                match run_one(scheme, &base, &plan_cfg, &cfg, opts.epsilon, opts.seed ^ 0xb111d) {
+                // Registry dispatch: the same closure serves the initial
+                // build and every policy-triggered rebuild.
+                match run_churn(&base, &plan_cfg, &cfg, |g| {
+                    registry.build(scheme, g, &build_ctx)
+                }) {
                     Ok(result) => {
                         print_rounds(&result);
                         results.push(result);

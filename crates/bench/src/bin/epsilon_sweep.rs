@@ -1,14 +1,15 @@
 //! Experiment E-EPS: how the `1/ε` factor in the table-size bounds and the
 //! `+ε` in the stretch bounds materialize. Fixes `n`, sweeps `ε`, and prints
 //! measured stretch and table sizes for the three measured schemes of the
-//! paper.
+//! paper, built through `compact_routing::SchemeRegistry`.
 //!
 //! Run with: `cargo run -p routing-bench --release --bin epsilon_sweep [n]`
 
+use compact_routing::registry::SchemeRegistry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use routing_bench::{evaluate_scheme, ExperimentConfig};
-use routing_core::{Params, SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
+use routing_bench::{evaluate_scheme, scheme_meta, ExperimentConfig};
+use routing_core::{BuildContext, Params};
 use routing_graph::apsp::DistanceMatrix;
 use routing_graph::generators::{Family, WeightModel};
 
@@ -19,6 +20,9 @@ fn main() {
     let weighted = Family::ErdosRenyi.generate(n, WeightModel::Uniform { lo: 1, hi: 32 }, &mut rng);
     let exact_u = DistanceMatrix::new(&unweighted);
     let exact_w = DistanceMatrix::new(&weighted);
+    let registry = SchemeRegistry::with_defaults();
+    // The paper's three ε-parameterized schemes, swept at every ε.
+    let keys = ["thm10", "thm11", "warmup"];
 
     println!("epsilon sweep, n={n} (erdos-renyi)");
     println!(
@@ -27,45 +31,24 @@ fn main() {
     );
     for &epsilon in &[2.0, 1.0, 0.5, 0.25, 0.125] {
         let cfg = ExperimentConfig { n, epsilon, seed: 17, pairs: Some(2000) };
-        let params = Params::with_epsilon(epsilon);
-        let mut rng = StdRng::seed_from_u64(17);
-        let runs: Vec<(&str, routing_model::eval::EvalReport)> = vec![
-            (
-                "thm10",
-                evaluate_scheme(
-                    &unweighted,
-                    &SchemeTwoPlusEps::build(&unweighted, &params, &mut rng).expect("thm10"),
-                    &exact_u,
-                    &cfg,
-                )
-                .expect("eval"),
-            ),
-            (
-                "thm11",
-                evaluate_scheme(
-                    &weighted,
-                    &SchemeFivePlusEps::build(&weighted, &params, &mut rng).expect("thm11"),
-                    &exact_w,
-                    &cfg,
-                )
-                .expect("eval"),
-            ),
-            (
-                "warmup",
-                evaluate_scheme(
-                    &weighted,
-                    &SchemeThreePlusEps::build(&weighted, &params, &mut rng).expect("warmup"),
-                    &exact_w,
-                    &cfg,
-                )
-                .expect("eval"),
-            ),
-        ];
-        for (name, r) in runs {
+        let ctx = BuildContext {
+            params: Params::with_epsilon(epsilon),
+            seed: 17,
+            threads: routing_par::threads(),
+        };
+        for key in keys {
+            let meta = scheme_meta(key).expect("sweep keys are registered");
+            let (g, exact) = if meta.weighted {
+                (&weighted, &exact_w)
+            } else {
+                (&unweighted, &exact_u)
+            };
+            let scheme = registry.build(key, g, &ctx).expect(key);
+            let r = evaluate_scheme(g, scheme.as_ref(), exact, &cfg).expect("eval");
             println!(
                 "{:>8} {:<10} {:>10.3} {:>10.3} {:>12} {:>10}",
                 epsilon,
-                name,
+                key,
                 r.stretch.max_multiplicative().unwrap_or(1.0),
                 r.stretch.mean_multiplicative().unwrap_or(1.0),
                 r.table.max(),

@@ -1,6 +1,8 @@
 //! Experiment E-SCALE: preprocessing scalability and table-size scaling.
 //!
-//! For a sweep of `n` the harness, per scheme:
+//! For a sweep of `n` the harness, per scheme (selected by registry name —
+//! construction dispatches through `compact_routing::SchemeRegistry`, so
+//! this binary contains no per-scheme code):
 //!
 //! 1. builds the scheme **twice from the same seed** — once with one worker
 //!    thread and once with `--threads` workers — and reports both wall-clock
@@ -8,7 +10,9 @@
 //!    phase);
 //! 2. checks the two builds are **identical** (per-vertex table and label
 //!    words, plus every routed weight of the shared pair sample must match —
-//!    parallelism must never change what gets built, only how fast);
+//!    parallelism must never change what gets built, only how fast), and
+//!    that the built scheme's name equals its registry key (the naming
+//!    invariant the `--schemes` flags rely on);
 //! 3. measures stretch over `--sample-pairs` pairs against the
 //!    [`routing_graph::SampledDistances`] ground truth (`--sample-sources`
 //!    exact source rows, `O(k·n)` memory), so the sweep runs at
@@ -28,26 +32,32 @@
 //! | `--threads <T>` | 0 | parallel worker count compared against 1 (0 = all hardware threads) |
 //! | `--sample-pairs <P>` | 1000 | routed pairs per scheme for the stretch measurement |
 //! | `--sample-sources <K>` | 64 | exact ground-truth source rows |
-//! | `--schemes <LIST>` | `tz2,warmup,thm11` | comma list of `tz2`, `tz3`, `warmup`, `thm10`, `thm11` |
+//! | `--schemes <LIST>` | `tz2,warmup,thm11` | comma list of registered scheme names, or `all` |
 //! | `--family <F>` | `erdos-renyi` | `erdos-renyi`, `geometric`, `grid`, or `scale-free` |
 //! | `--epsilon <E>` | 0.25 | stretch slack of the paper's schemes |
 //! | `--seed <S>` | 13 | master seed (graphs, builds and pair samples derive from it) |
 //! | `--json <PATH>` | — | also write every row as a JSON array |
 //! | `--help` | — | print this table |
+//!
+//! The registered scheme names are `warmup`, `thm10`, `thm11`, `tz2`,
+//! `tz3`, `exact`, `spanner`; note `exact` and `spanner` build `Θ(n)`-word
+//! full tables (and the greedy spanner construction is `O(m)` shortest-path
+//! queries), so keep `--schemes all` to small `n` — CI runs it at `n = 300`
+//! as the registry smoke test.
 
 use std::time::Instant;
 
+use compact_routing::registry::SchemeRegistry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use routing_baselines::TzRoutingScheme;
-use routing_core::{Params, SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
+use routing_bench::cli::{self, Args, CliError};
+use routing_bench::{assert_meta_covers_registry, scheme_meta};
+use routing_core::{BuildContext, Params};
 use routing_graph::generators::{Family, WeightModel};
 use routing_graph::{Graph, SampledDistances, VertexId};
 use routing_model::eval::{evaluate_pairs, select_pairs_anchored};
-use routing_model::{simulate, RoutingScheme};
+use routing_model::simulate;
 use serde::Serialize;
-
-const SCHEME_NAMES: [&str; 5] = ["tz2", "tz3", "warmup", "thm10", "thm11"];
 
 struct Options {
     sizes: Vec<usize>,
@@ -125,7 +135,7 @@ OPTIONS:
                           (0 = all hardware threads)             [default: 0]
   --sample-pairs <P>      routed pairs per scheme                [default: 1000]
   --sample-sources <K>    exact ground-truth source rows         [default: 64]
-  --schemes <LIST>        tz2,tz3,warmup,thm10,thm11             [default: tz2,warmup,thm11]
+  --schemes <LIST>        registered scheme names, or 'all'      [default: tz2,warmup,thm11]
   --family <F>            erdos-renyi|geometric|grid|scale-free  [default: erdos-renyi]
   --epsilon <E>           epsilon of the paper's schemes         [default: 0.25]
   --seed <S>              master seed                            [default: 13]
@@ -134,114 +144,106 @@ OPTIONS:
     );
 }
 
-fn parse_options() -> Options {
+fn parse_options(registry: &SchemeRegistry) -> Options {
     let mut opts = Options::default();
-    let mut args = std::env::args().skip(1);
-    while let Some(flag) = args.next() {
+    let mut args = Args::from_env();
+    while let Some(flag) = args.next_flag() {
         if flag == "--help" || flag == "-h" {
             print_usage();
             std::process::exit(0);
         }
-        let Some(value) = args.next() else {
-            eprintln!("missing value for {flag}");
-            usage();
-        };
-        let bad = |what: &str| -> ! {
-            eprintln!("invalid value {value:?} for {flag}: {what}");
-            usage();
-        };
+        let value = cli::ok_or_usage(args.value(&flag), usage);
         match flag.as_str() {
-            "--n" => {
-                opts.sizes = value
-                    .split(',')
-                    .map(|s| s.parse().unwrap_or_else(|_| bad("expected integers")))
-                    .collect();
-                if opts.sizes.is_empty() {
-                    bad("expected at least one size");
-                }
-            }
+            "--n" => opts.sizes = cli::ok_or_usage(cli::parse_usize_list(&flag, &value), usage),
             "--threads" => {
-                opts.threads = value.parse().unwrap_or_else(|_| bad("expected an integer"))
+                opts.threads = cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
             }
             "--sample-pairs" => {
-                opts.sample_pairs = value.parse().unwrap_or_else(|_| bad("expected an integer"))
+                opts.sample_pairs =
+                    cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
             }
             "--sample-sources" => {
-                opts.sample_sources =
-                    value.parse::<usize>().unwrap_or_else(|_| bad("expected an integer")).max(1)
+                opts.sample_sources = cli::ok_or_usage(cli::parse_value::<usize>(
+                    &flag,
+                    &value,
+                    "expected an integer",
+                ), usage)
+                .max(1)
             }
             "--schemes" => {
-                opts.schemes = value.split(',').map(str::to_string).collect();
-                for s in &opts.schemes {
-                    if !SCHEME_NAMES.contains(&s.as_str()) {
-                        bad("unknown scheme");
-                    }
-                }
+                opts.schemes =
+                    cli::ok_or_usage(cli::parse_schemes(&flag, &value, &registry.names()), usage)
             }
-            "--family" => {
-                opts.family = match value.as_str() {
-                    "erdos-renyi" => Family::ErdosRenyi,
-                    "geometric" => Family::Geometric,
-                    "grid" => Family::Grid,
-                    "scale-free" => Family::ScaleFree,
-                    _ => bad("unknown family"),
-                }
+            "--family" => opts.family = cli::ok_or_usage(cli::parse_family(&flag, &value), usage),
+            "--epsilon" => {
+                opts.epsilon = cli::ok_or_usage(cli::parse_value(&flag, &value, "expected a float"), usage)
             }
-            "--epsilon" => opts.epsilon = value.parse().unwrap_or_else(|_| bad("expected a float")),
-            "--seed" => opts.seed = value.parse().unwrap_or_else(|_| bad("expected an integer")),
+            "--seed" => {
+                opts.seed = cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
+            }
             "--json" => opts.json = Some(value),
-            _ => {
-                eprintln!("unknown flag {flag}");
-                usage();
-            }
+            _ => cli::die(CliError::UnknownFlag { flag }, usage),
         }
     }
     opts
 }
 
-/// Builds `build()` twice from identical state — sequentially and with
-/// `threads` workers — times both, verifies the results are identical, and
-/// measures stretch of the parallel build over the shared `pairs`.
-fn measure<S, F>(
-    label: &str,
+/// Builds one registered scheme twice from identical state — sequentially
+/// and with `threads` workers — times both, verifies the results (and the
+/// name/key invariant), and measures stretch of the parallel build over the
+/// shared `pairs`. Returns `None` (after reporting) if the build fails.
+#[allow(clippy::too_many_arguments)]
+fn measure(
+    registry: &SchemeRegistry,
+    key: &str,
     exponent: f64,
     g: &Graph,
     oracle: &SampledDistances,
     pairs: &[(VertexId, VertexId)],
     threads: usize,
-    build: F,
-) -> Row
-where
-    S: RoutingScheme,
-    F: Fn() -> S,
-{
-    routing_par::set_threads(1);
+    ctx: &BuildContext,
+) -> Option<Row> {
+    let seq_ctx = BuildContext { threads: 1, ..*ctx };
     let t = Instant::now();
-    let seq = build();
+    let seq = match registry.build(key, g, &seq_ctx) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("build failed: scheme={key}: {e}");
+            return None;
+        }
+    };
     let build_seq_ms = t.elapsed().as_secs_f64() * 1e3;
 
-    routing_par::set_threads(threads);
+    let par_ctx = BuildContext { threads, ..*ctx };
     let t = Instant::now();
-    let par = build();
+    let par = match registry.build(key, g, &par_ctx) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("build failed: scheme={key}: {e}");
+            return None;
+        }
+    };
     let build_par_ms = t.elapsed().as_secs_f64() * 1e3;
 
     // Identity check: parallelism must not change the scheme. Schemes do not
     // expose raw table bytes, so compare everything observable — per-vertex
     // table and label word counts, and the weight and hop count of every
-    // routed pair, pair by pair.
+    // routed pair, pair by pair. (`registry.build` has already verified
+    // name == key for both builds.)
     let words_match = g.vertices().all(|v| {
         seq.table_words(v) == par.table_words(v) && seq.label_words(v) == par.label_words(v)
     });
     let routes_match = pairs.iter().all(|&(u, v)| {
-        let a = simulate(g, &seq, u, v).expect("scheme routes its own graph");
-        let b = simulate(g, &par, u, v).expect("scheme routes its own graph");
+        let a = simulate(g, seq.as_ref(), u, v).expect("scheme routes its own graph");
+        let b = simulate(g, par.as_ref(), u, v).expect("scheme routes its own graph");
         a.weight == b.weight && a.hops == b.hops
     });
     let identical = words_match && routes_match;
-    let par_eval = evaluate_pairs(g, &par, oracle, pairs).expect("scheme routes its own graph");
+    let par_eval =
+        evaluate_pairs(g, par.as_ref(), oracle, pairs).expect("scheme routes its own graph");
 
-    Row {
-        scheme: label.to_string(),
+    Some(Row {
+        scheme: key.to_string(),
         n: g.n(),
         m: g.m(),
         threads,
@@ -255,7 +257,7 @@ where
         normalized: par_eval.table.max() as f64 / (g.n() as f64).powf(exponent),
         stretch_mean: par_eval.stretch.mean_multiplicative().unwrap_or(1.0),
         stretch_max: par_eval.stretch.max_multiplicative().unwrap_or(1.0),
-    }
+    })
 }
 
 fn print_row(r: &Row) {
@@ -275,7 +277,9 @@ fn print_row(r: &Row) {
 }
 
 fn main() {
-    let opts = parse_options();
+    let registry = SchemeRegistry::with_defaults();
+    assert_meta_covers_registry(&registry);
+    let opts = parse_options(&registry);
     let threads =
         if opts.threads == 0 { routing_par::available_threads() } else { opts.threads };
     println!(
@@ -300,9 +304,9 @@ fn main() {
         "max-str"
     );
 
+    let mut failures = 0usize;
     let mut rows: Vec<Row> = Vec::new();
     for &n in &opts.sizes {
-        let params = Params::with_epsilon(opts.epsilon);
         let mut rng = StdRng::seed_from_u64(opts.seed);
         let unweighted = opts.family.generate(n, WeightModel::Unit, &mut rng);
         let weighted =
@@ -320,47 +324,43 @@ fn main() {
         let pairs_w =
             select_pairs_anchored(&weighted, oracle_w.sources(), opts.sample_pairs, &mut pair_rng);
 
-        let build_seed = opts.seed ^ 0xb111d;
-        for scheme in &opts.schemes {
-            let row = match scheme.as_str() {
-                "tz2" => measure("tz2", 0.5, &weighted, &oracle_w, &pairs_w, threads, || {
-                    let mut rng = StdRng::seed_from_u64(build_seed);
-                    TzRoutingScheme::build(&weighted, 2, &mut rng)
-                }),
-                "tz3" => measure("tz3", 1.0 / 3.0, &weighted, &oracle_w, &pairs_w, threads, || {
-                    let mut rng = StdRng::seed_from_u64(build_seed);
-                    TzRoutingScheme::build(&weighted, 3, &mut rng)
-                }),
-                "warmup" => {
-                    measure("warmup", 0.5, &weighted, &oracle_w, &pairs_w, threads, || {
-                        let mut rng = StdRng::seed_from_u64(build_seed);
-                        SchemeThreePlusEps::build(&weighted, &params, &mut rng).expect("warmup")
-                    })
-                }
-                "thm10" => {
-                    measure("thm10", 2.0 / 3.0, &unweighted, &oracle_u, &pairs_u, threads, || {
-                        let mut rng = StdRng::seed_from_u64(build_seed);
-                        SchemeTwoPlusEps::build(&unweighted, &params, &mut rng).expect("thm10")
-                    })
-                }
-                "thm11" => {
-                    measure("thm11", 1.0 / 3.0, &weighted, &oracle_w, &pairs_w, threads, || {
-                        let mut rng = StdRng::seed_from_u64(build_seed);
-                        SchemeFivePlusEps::build(&weighted, &params, &mut rng).expect("thm11")
-                    })
-                }
-                other => {
-                    eprintln!("unknown scheme {other}");
-                    continue;
-                }
+        let ctx = BuildContext {
+            params: Params::with_epsilon(opts.epsilon),
+            seed: opts.seed ^ 0xb111d,
+            threads,
+        };
+        for key in &opts.schemes {
+            let meta = scheme_meta(key).expect("--schemes entries are registered and covered");
+            let (g, oracle, pairs) = if meta.weighted {
+                (&weighted, &oracle_w, &pairs_w)
+            } else {
+                (&unweighted, &oracle_u, &pairs_u)
             };
-            print_row(&row);
-            rows.push(row);
+            match measure(
+                &registry,
+                key,
+                meta.space_exponent.unwrap_or(1.0),
+                g,
+                oracle,
+                pairs,
+                threads,
+                &ctx,
+            ) {
+                Some(row) => {
+                    print_row(&row);
+                    rows.push(row);
+                }
+                None => failures += 1,
+            }
         }
     }
     // Leave the global in the parallel state callers asked for.
     routing_par::set_threads(threads);
 
+    if failures > 0 {
+        eprintln!("ERROR: {failures} scheme build(s) failed");
+        std::process::exit(1);
+    }
     if rows.iter().any(|r| !r.identical) {
         eprintln!("ERROR: a parallel build differed from its sequential twin");
         std::process::exit(1);

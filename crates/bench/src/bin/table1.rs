@@ -1,10 +1,18 @@
 //! Experiment T1: regenerate the paper's Table 1 — stretch and per-vertex
-//! table size of every implemented scheme (ours and the measured baselines)
-//! side by side with the cited theoretical rows.
+//! table size of every measured scheme the registry knows (ours and the
+//! baselines) side by side with the cited theoretical rows.
+//!
+//! Scheme construction dispatches through
+//! `compact_routing::SchemeRegistry` inside `routing_bench::run_table1`;
+//! registering a new scheme (plus its `SchemeMeta` row) adds a measured
+//! row here with no edits to this binary.
 //!
 //! Run with: `cargo run -p routing-bench --release --bin table1 [n] [epsilon]`
 
-use routing_bench::{make_graph, print_table, run_table1, to_json, ExperimentConfig};
+use compact_routing::registry::SchemeRegistry;
+use routing_bench::{
+    assert_meta_covers_registry, make_graph, print_table, run_table1, to_json, ExperimentConfig,
+};
 use routing_graph::generators::{Family, WeightModel};
 
 fn main() {
@@ -12,6 +20,8 @@ fn main() {
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(400);
     let epsilon: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.25);
     let cfg = ExperimentConfig { n, epsilon, seed: 7, pairs: Some(4000) };
+    let registry = SchemeRegistry::with_defaults();
+    assert_meta_covers_registry(&registry);
 
     for family in [Family::ErdosRenyi, Family::Geometric] {
         let unweighted = make_graph(family, WeightModel::Unit, &cfg);
@@ -24,7 +34,7 @@ fn main() {
             weighted.m(),
             cfg.epsilon
         );
-        match run_table1(&unweighted, &weighted, &cfg) {
+        match run_table1(&registry, &unweighted, &weighted, &cfg) {
             Ok(rows) => {
                 print_table(&format!("Table 1 on {} graphs", family.name()), &rows);
                 if let Ok(json) = to_json(&rows) {

@@ -3,6 +3,14 @@
 //! source-to-landmark (Lemma 8) stretch together with table and header
 //! sizes, confirming the `(1+ε)` guarantee and the `1/ε` space dependence.
 //!
+//! The Lemma 7/8 techniques are deliberately **not** `SchemeRegistry`
+//! entries: they are partial-domain building blocks (Lemma 7 routes only
+//! within a color class, Lemma 8 only towards its predefined destination
+//! partition), so they cannot honour the registry's build-anything
+//! `(graph, context)` contract. This binary constructs them with their
+//! per-set inputs and still drives them through the same erased
+//! [`routing_model::simulate`] path every registered scheme uses.
+//!
 //! Run with: `cargo run -p routing-bench --release --bin techniques [n]`
 
 use rand::rngs::StdRng;

@@ -2,12 +2,15 @@
 //! measurements across graph families, printed as one series per theorem
 //! (the paper's per-theorem "figures").
 //!
+//! The three schemes are built through `compact_routing::SchemeRegistry`
+//! (keys `thm10`, `thm11`, `warmup`), with the claimed-bound annotation
+//! derived from each scheme's `SchemeMeta` row and the configured `ε`.
+//!
 //! Run with: `cargo run -p routing-bench --release --bin theorems [n] [epsilon]`
 
-use rand::rngs::StdRng;
-use rand::SeedableRng;
-use routing_bench::{evaluate_scheme, make_graph, ExperimentConfig};
-use routing_core::{SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
+use compact_routing::registry::SchemeRegistry;
+use routing_bench::{evaluate_scheme, make_graph, scheme_meta, ExperimentConfig};
+use routing_core::BuildContext;
 use routing_graph::apsp::DistanceMatrix;
 use routing_graph::generators::{Family, WeightModel};
 
@@ -16,7 +19,10 @@ fn main() {
     let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(300);
     let epsilon: f64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(0.25);
     let cfg = ExperimentConfig { n, epsilon, seed: 11, pairs: Some(3000) };
-    let params = cfg.params();
+    let registry = SchemeRegistry::with_defaults();
+    // The per-theorem series, in the order the paper presents them.
+    let keys = ["thm10", "thm11", "warmup"];
+    let display = [("thm10", "Thm 10"), ("thm11", "Thm 11"), ("warmup", "warm-up")];
 
     println!("theorem experiments: n={n} eps={epsilon}");
     println!(
@@ -28,56 +34,31 @@ fn main() {
         let weighted = make_graph(family, WeightModel::Uniform { lo: 1, hi: 32 }, &cfg);
         let exact_u = DistanceMatrix::new(&unweighted);
         let exact_w = DistanceMatrix::new(&weighted);
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let ctx = BuildContext {
+            params: cfg.params(),
+            seed: cfg.seed,
+            threads: routing_par::threads(),
+        };
 
-        let rows: Vec<(&str, String, f64, f64, usize, usize)> = vec![
-            {
-                let s = SchemeTwoPlusEps::build(&unweighted, &params, &mut rng).expect("build");
-                let r = evaluate_scheme(&unweighted, &s, &exact_u, &cfg).expect("eval");
-                (
-                    "Thm 10",
-                    format!("(2+eps,1) = {:.2}d+1", 2.0 + epsilon),
-                    r.stretch.max_multiplicative().unwrap_or(1.0),
-                    r.stretch.mean_multiplicative().unwrap_or(1.0),
-                    r.table.max(),
-                    r.max_label_words,
-                )
-            },
-            {
-                let s = SchemeFivePlusEps::build(&weighted, &params, &mut rng).expect("build");
-                let r = evaluate_scheme(&weighted, &s, &exact_w, &cfg).expect("eval");
-                (
-                    "Thm 11",
-                    format!("5+eps = {:.2}", 5.0 + epsilon),
-                    r.stretch.max_multiplicative().unwrap_or(1.0),
-                    r.stretch.mean_multiplicative().unwrap_or(1.0),
-                    r.table.max(),
-                    r.max_label_words,
-                )
-            },
-            {
-                let s = SchemeThreePlusEps::build(&weighted, &params, &mut rng).expect("build");
-                let r = evaluate_scheme(&weighted, &s, &exact_w, &cfg).expect("eval");
-                (
-                    "warm-up",
-                    format!("3+eps = {:.2}", 3.0 + epsilon),
-                    r.stretch.max_multiplicative().unwrap_or(1.0),
-                    r.stretch.mean_multiplicative().unwrap_or(1.0),
-                    r.table.max(),
-                    r.max_label_words,
-                )
-            },
-        ];
-        for (name, bound, max_s, mean_s, table, label) in rows {
+        for key in keys {
+            let meta = scheme_meta(key).expect("theorem keys are registered");
+            let (g, exact) = if meta.weighted {
+                (&weighted, &exact_w)
+            } else {
+                (&unweighted, &exact_u)
+            };
+            let scheme = registry.build(key, g, &ctx).expect("build");
+            let r = evaluate_scheme(g, scheme.as_ref(), exact, &cfg).expect("eval");
+            let name = display.iter().find(|(k, _)| *k == key).map(|(_, d)| *d).unwrap_or(key);
             println!(
                 "{:<14} {:<26} {:>9.3} {:>9.3} {:>10} {:>12} {:>8}",
                 family.name(),
                 name,
-                max_s,
-                mean_s,
-                bound,
-                table,
-                label
+                r.stretch.max_multiplicative().unwrap_or(1.0),
+                r.stretch.mean_multiplicative().unwrap_or(1.0),
+                meta.stretch_bound.label_at(meta.claimed_stretch, epsilon),
+                r.table.max(),
+                r.max_label_words
             );
         }
     }

@@ -12,6 +12,21 @@
 //! and prints them side by side with the theoretical bounds, so "who wins, by
 //! roughly what factor, and where the crossovers fall" can be read off.
 //!
+//! # Registry-driven dispatch
+//!
+//! Every binary under `src/bin/` selects schemes by **name** through the
+//! facade's [`compact_routing::registry::SchemeRegistry`] — no binary
+//! carries per-scheme construction code. What the binaries add on top is
+//! harness *metadata* ([`SchemeMeta`]: the paper's claimed bounds, the
+//! claimed `Õ(n^x)` space exponent, and whether the scheme evaluates on the
+//! weighted or the unweighted instance), looked up by the same registry key.
+//! Adding a scheme to the workspace therefore costs one `SchemeBuilder`
+//! registration (facade) plus one [`SCHEME_METAS`] row (here); every binary
+//! discovers it through `--schemes` with no further edits.
+//!
+//! The shared `--schemes`/`--n`/`--seed`/`--json`/… flag handling lives in
+//! [`cli`].
+//!
 //! Binaries under `src/bin/` drive individual experiments (see DESIGN.md's
 //! experiment index); the Criterion benches under `benches/` time
 //! preprocessing and per-hop routing decisions.
@@ -36,17 +51,19 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cli;
+
+use compact_routing::registry::SchemeRegistry;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use routing_baselines::{ExactScheme, TzRoutingScheme};
-use routing_core::{Params, SchemeFivePlusEps, SchemeThreePlusEps, SchemeTwoPlusEps};
+use routing_core::{BuildContext, Params};
 use routing_graph::apsp::DistanceMatrix;
 use routing_graph::generators::{Family, WeightModel};
 use routing_graph::Graph;
 use routing_model::eval::{evaluate, EvalReport, PairSelection};
-use routing_model::{RouteError, RoutingScheme};
+use routing_model::{DynScheme, RouteError};
 
 /// Configuration of one experiment run.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -79,6 +96,156 @@ impl ExperimentConfig {
     /// Scheme parameters implied by the configuration.
     pub fn params(&self) -> Params {
         Params::with_epsilon(self.epsilon)
+    }
+}
+
+/// A claimed stretch bound in machine-checkable form:
+/// `(base + eps_coeff·ε)·d + additive`, covering both the fixed bounds of
+/// the baselines (`eps_coeff = 0`) and the paper's ε-parameterized schemes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StretchBound {
+    /// The multiplicative constant (3 for the warm-up, 5 for Thm 11, …).
+    pub base: f64,
+    /// The coefficient of `ε` in the multiplicative part (0 for baselines).
+    pub eps_coeff: f64,
+    /// The additive term (1 for Thm 10's `(2+ε, 1)`; 0 otherwise).
+    pub additive: f64,
+}
+
+impl StretchBound {
+    /// The multiplicative factor at a concrete `ε`.
+    pub fn factor_at(&self, epsilon: f64) -> f64 {
+        self.base + self.eps_coeff * epsilon
+    }
+
+    /// Human-readable annotation at a concrete `ε`, e.g. `"5+eps = 5.50"`
+    /// or `"(2+eps, 1) = 2.50d+1"` (claim text supplied by the caller).
+    pub fn label_at(&self, claim: &str, epsilon: f64) -> String {
+        if self.additive > 0.0 {
+            format!("{claim} = {:.2}d+{}", self.factor_at(epsilon), self.additive)
+        } else if self.eps_coeff > 0.0 {
+            format!("{claim} = {:.2}", self.factor_at(epsilon))
+        } else {
+            claim.to_string()
+        }
+    }
+}
+
+/// Harness metadata for one registered scheme: the paper's claims next to
+/// the key the scheme is registered (and built) under.
+///
+/// This is deliberately *data*, not code — the only per-scheme knowledge a
+/// binary needs beyond what the registry provides.
+#[derive(Debug, Clone, Copy)]
+pub struct SchemeMeta {
+    /// The registry key (== `DynScheme::name` of the built scheme).
+    pub key: &'static str,
+    /// Display name for the Table 1 row.
+    pub table1_label: &'static str,
+    /// The paper's stretch claim (e.g. `"(2+eps, 1)"`).
+    pub claimed_stretch: &'static str,
+    /// The stretch claim in machine-checkable form (see [`StretchBound`]).
+    pub stretch_bound: StretchBound,
+    /// The paper's table-size claim (e.g. `"O~(n^2/3 / eps)"`).
+    pub claimed_space: &'static str,
+    /// The exponent `x` such that the claimed space is `Õ(n^x)` (used for
+    /// normalized columns).
+    pub space_exponent: Option<f64>,
+    /// Whether the scheme evaluates on the weighted instance (`false`:
+    /// unweighted — Theorem 10 is stated for unweighted graphs, and the
+    /// exact row anchors the unweighted comparison).
+    pub weighted: bool,
+}
+
+/// Metadata for every scheme the default registry registers, in registry
+/// order. Kept in sync with `SchemeRegistry::with_defaults` by
+/// [`assert_meta_covers_registry`] (which CI's registry smoke run
+/// exercises).
+pub const SCHEME_METAS: &[SchemeMeta] = &[
+    SchemeMeta {
+        key: "warmup",
+        table1_label: "this paper: warm-up 3+eps",
+        claimed_stretch: "3+eps",
+        stretch_bound: StretchBound { base: 3.0, eps_coeff: 1.0, additive: 0.0 },
+        claimed_space: "O~(n^1/2 / eps)",
+        space_exponent: Some(0.5),
+        weighted: true,
+    },
+    SchemeMeta {
+        key: "thm10",
+        table1_label: "this paper: Thm 10 (2+eps,1)",
+        claimed_stretch: "(2+eps, 1)",
+        stretch_bound: StretchBound { base: 2.0, eps_coeff: 1.0, additive: 1.0 },
+        claimed_space: "O~(n^2/3 / eps)",
+        space_exponent: Some(2.0 / 3.0),
+        weighted: false,
+    },
+    SchemeMeta {
+        key: "thm11",
+        table1_label: "this paper: Thm 11 5+eps",
+        claimed_stretch: "5+eps",
+        stretch_bound: StretchBound { base: 5.0, eps_coeff: 1.0, additive: 0.0 },
+        claimed_space: "O~(n^1/3 logD / eps)",
+        space_exponent: Some(1.0 / 3.0),
+        weighted: true,
+    },
+    SchemeMeta {
+        key: "tz2",
+        table1_label: "Thorup-Zwick / Abraham et al. (k=2)",
+        claimed_stretch: "3",
+        stretch_bound: StretchBound { base: 3.0, eps_coeff: 0.0, additive: 0.0 },
+        claimed_space: "O~(n^1/2)",
+        space_exponent: Some(0.5),
+        weighted: true,
+    },
+    SchemeMeta {
+        key: "tz3",
+        table1_label: "Thorup-Zwick (k=3)",
+        claimed_stretch: "7",
+        stretch_bound: StretchBound { base: 7.0, eps_coeff: 0.0, additive: 0.0 },
+        claimed_space: "O~(n^1/3)",
+        space_exponent: Some(1.0 / 3.0),
+        weighted: true,
+    },
+    SchemeMeta {
+        key: "exact",
+        table1_label: "exact shortest paths",
+        claimed_stretch: "1",
+        stretch_bound: StretchBound { base: 1.0, eps_coeff: 0.0, additive: 0.0 },
+        claimed_space: "Theta(n)",
+        space_exponent: Some(1.0),
+        weighted: false,
+    },
+    SchemeMeta {
+        key: "spanner",
+        table1_label: "greedy 3-spanner routing",
+        claimed_stretch: "3",
+        stretch_bound: StretchBound { base: 3.0, eps_coeff: 0.0, additive: 0.0 },
+        claimed_space: "Theta(n)",
+        space_exponent: Some(1.0),
+        weighted: true,
+    },
+];
+
+/// The metadata row for a registry key.
+pub fn scheme_meta(key: &str) -> Option<&'static SchemeMeta> {
+    SCHEME_METAS.iter().find(|m| m.key == key)
+}
+
+/// Asserts that every scheme in `registry` has a [`SchemeMeta`] row and
+/// vice versa — the harness-side half of the registry naming invariant.
+///
+/// # Panics
+///
+/// Panics (with the offending key) on any mismatch; the registry smoke run
+/// in CI calls this so a scheme can never be registered without harness
+/// metadata or the other way around.
+pub fn assert_meta_covers_registry(registry: &SchemeRegistry) {
+    for key in registry.names() {
+        assert!(scheme_meta(key).is_some(), "registered scheme {key:?} has no SchemeMeta row");
+    }
+    for meta in SCHEME_METAS {
+        assert!(registry.contains(meta.key), "SchemeMeta row {:?} is not registered", meta.key);
     }
 }
 
@@ -168,14 +335,14 @@ pub fn make_graph(family: Family, weights: WeightModel, cfg: &ExperimentConfig) 
     family.generate(cfg.n, weights, &mut rng)
 }
 
-/// Evaluates one scheme on one graph.
+/// Evaluates one scheme on one graph through the erased surface.
 ///
 /// # Errors
 ///
 /// Propagates routing failures (which indicate scheme bugs).
-pub fn evaluate_scheme<S: RoutingScheme>(
+pub fn evaluate_scheme(
     g: &Graph,
-    scheme: &S,
+    scheme: &dyn DynScheme,
     exact: &DistanceMatrix,
     cfg: &ExperimentConfig,
 ) -> Result<EvalReport, HarnessError> {
@@ -184,92 +351,79 @@ pub fn evaluate_scheme<S: RoutingScheme>(
 }
 
 /// Runs the full Table 1 experiment on one unweighted and one weighted
-/// instance: every implemented scheme of the paper, the Thorup–Zwick
-/// baselines, the exact-routing extreme, and the theory-only comparison rows.
+/// instance: every measured scheme the registry knows, plus the theory-only
+/// comparison rows.
+///
+/// Measured rows are built through `registry` — this function contains no
+/// per-scheme construction code; [`SCHEME_METAS`] supplies each row's
+/// claimed bounds and instance flavour.
 ///
 /// # Errors
 ///
 /// Propagates preprocessing and routing failures.
 pub fn run_table1(
+    registry: &SchemeRegistry,
     unweighted: &Graph,
     weighted: &Graph,
     cfg: &ExperimentConfig,
 ) -> Result<Vec<Table1Row>, HarnessError> {
-    let params = cfg.params();
-    let mut rows = Vec::new();
+    // The traditional Table 1 row order: the exact anchor first, then prior
+    // art, then the theory-only citations, then the paper's schemes. Any
+    // scheme registered beyond these seven is appended after them, so a new
+    // registration gains a measured row with no edits here.
+    const ROW_ORDER: [&str; 7] = ["exact", "tz2", "tz3", "spanner", "warmup", "thm10", "thm11"];
+    let mut row_keys: Vec<&str> = ROW_ORDER.to_vec();
+    for key in registry.names() {
+        if !row_keys.contains(&key) {
+            row_keys.push(key);
+        }
+    }
+
     let exact_u = DistanceMatrix::new(unweighted);
     let exact_w = DistanceMatrix::new(weighted);
-    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0xc0ffee);
+    let ctx = BuildContext {
+        params: cfg.params(),
+        seed: cfg.seed ^ 0xc0ffee,
+        threads: routing_par::threads(),
+    };
 
-    // Ground-truth extreme.
-    let exact_scheme = ExactScheme::build(unweighted);
-    rows.push(Table1Row {
-        scheme: "exact shortest paths".into(),
-        claimed_stretch: "1".into(),
-        claimed_space: "Theta(n)".into(),
-        space_exponent: Some(1.0),
-        measured: Some(evaluate_scheme(unweighted, &exact_scheme, &exact_u, cfg)?),
-    });
-
-    // Prior rows of Table 1 that we measure: Thorup-Zwick k=2 and k=3.
-    let tz2 = TzRoutingScheme::build(weighted, 2, &mut rng);
-    rows.push(Table1Row {
-        scheme: "Thorup-Zwick / Abraham et al. (k=2)".into(),
-        claimed_stretch: "3".into(),
-        claimed_space: "O~(n^1/2)".into(),
-        space_exponent: Some(0.5),
-        measured: Some(evaluate_scheme(weighted, &tz2, &exact_w, cfg)?),
-    });
-    let tz3 = TzRoutingScheme::build(weighted, 3, &mut rng);
-    rows.push(Table1Row {
-        scheme: "Thorup-Zwick (k=3)".into(),
-        claimed_stretch: "7".into(),
-        claimed_space: "O~(n^1/3)".into(),
-        space_exponent: Some(1.0 / 3.0),
-        measured: Some(evaluate_scheme(weighted, &tz3, &exact_w, cfg)?),
-    });
-
-    // Prior rows we do not re-derive (cited bounds only).
-    rows.push(Table1Row {
-        scheme: "Abraham-Gavoille [1]".into(),
-        claimed_stretch: "(2, 1)".into(),
-        claimed_space: "O~(n^3/4)".into(),
-        space_exponent: None,
-        measured: None,
-    });
-    rows.push(Table1Row {
-        scheme: "Chechik [10]".into(),
-        claimed_stretch: "~10.52".into(),
-        claimed_space: "O~(n^1/4 logD)".into(),
-        space_exponent: None,
-        measured: None,
-    });
-
-    // The paper's schemes.
-    let warmup = SchemeThreePlusEps::build(weighted, &params, &mut rng)?;
-    rows.push(Table1Row {
-        scheme: format!("this paper: warm-up 3+eps (eps={})", cfg.epsilon),
-        claimed_stretch: "3+eps".into(),
-        claimed_space: "O~(n^1/2 / eps)".into(),
-        space_exponent: Some(0.5),
-        measured: Some(evaluate_scheme(weighted, &warmup, &exact_w, cfg)?),
-    });
-    let thm10 = SchemeTwoPlusEps::build(unweighted, &params, &mut rng)?;
-    rows.push(Table1Row {
-        scheme: format!("this paper: Thm 10 (2+eps,1) (eps={})", cfg.epsilon),
-        claimed_stretch: "(2+eps, 1)".into(),
-        claimed_space: "O~(n^2/3 / eps)".into(),
-        space_exponent: Some(2.0 / 3.0),
-        measured: Some(evaluate_scheme(unweighted, &thm10, &exact_u, cfg)?),
-    });
-    let thm11 = SchemeFivePlusEps::build(weighted, &params, &mut rng)?;
-    rows.push(Table1Row {
-        scheme: format!("this paper: Thm 11 5+eps (eps={})", cfg.epsilon),
-        claimed_stretch: "5+eps".into(),
-        claimed_space: "O~(n^1/3 logD / eps)".into(),
-        space_exponent: Some(1.0 / 3.0),
-        measured: Some(evaluate_scheme(weighted, &thm11, &exact_w, cfg)?),
-    });
+    let mut rows = Vec::new();
+    for key in row_keys {
+        if key == "warmup" {
+            // The theory-only rows sit between the baselines and the
+            // paper's schemes, as in the paper.
+            rows.push(Table1Row {
+                scheme: "Abraham-Gavoille [1]".into(),
+                claimed_stretch: "(2, 1)".into(),
+                claimed_space: "O~(n^3/4)".into(),
+                space_exponent: None,
+                measured: None,
+            });
+            rows.push(Table1Row {
+                scheme: "Chechik [10]".into(),
+                claimed_stretch: "~10.52".into(),
+                claimed_space: "O~(n^1/4 logD)".into(),
+                space_exponent: None,
+                measured: None,
+            });
+        }
+        let meta = scheme_meta(key).expect("ROW_ORDER keys all have metadata");
+        let (g, exact) =
+            if meta.weighted { (weighted, &exact_w) } else { (unweighted, &exact_u) };
+        let scheme = registry.build(key, g, &ctx)?;
+        let label = if meta.key == "warmup" || meta.key == "thm10" || meta.key == "thm11" {
+            format!("{} (eps={})", meta.table1_label, cfg.epsilon)
+        } else {
+            meta.table1_label.to_string()
+        };
+        rows.push(Table1Row {
+            scheme: label,
+            claimed_stretch: meta.claimed_stretch.into(),
+            claimed_space: meta.claimed_space.into(),
+            space_exponent: meta.space_exponent,
+            measured: Some(evaluate_scheme(g, scheme.as_ref(), exact, cfg)?),
+        });
+    }
 
     Ok(rows)
 }
@@ -312,11 +466,19 @@ mod tests {
     }
 
     #[test]
+    fn metas_cover_the_default_registry() {
+        assert_meta_covers_registry(&SchemeRegistry::with_defaults());
+        assert!(scheme_meta("tz2").is_some());
+        assert!(scheme_meta("thm12").is_none());
+    }
+
+    #[test]
     fn table1_runs_on_small_instances() {
         let cfg = ExperimentConfig { n: 60, seed: 3, epsilon: 0.5, pairs: Some(200) };
         let unweighted = make_graph(Family::ErdosRenyi, WeightModel::Unit, &cfg);
         let weighted = make_graph(Family::ErdosRenyi, WeightModel::Uniform { lo: 1, hi: 8 }, &cfg);
-        let rows = run_table1(&unweighted, &weighted, &cfg).unwrap();
+        let registry = SchemeRegistry::with_defaults();
+        let rows = run_table1(&registry, &unweighted, &weighted, &cfg).unwrap();
         assert!(rows.len() >= 8);
         // Exact routing row must have stretch exactly 1.
         let exact_row = rows.iter().find(|r| r.scheme.contains("exact")).unwrap();

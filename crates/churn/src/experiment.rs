@@ -29,10 +29,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
+use routing_core::BuildError;
 use routing_graph::mutate::{induced_subgraph, largest_component};
 use routing_graph::{Graph, SampledDistances, VertexId};
 use routing_model::stale::{route_pairs_lossy, sample_alive_pairs, ResilienceReport};
-use routing_model::RoutingScheme;
+use routing_model::DynScheme;
 
 use crate::plan::{ChurnPlanConfig, ChurnProcess};
 use crate::policy::RebuildPolicy;
@@ -160,27 +161,30 @@ impl ChurnRunResult {
 /// through the stale tables, and applies `cfg.policy`.
 ///
 /// `build` is called once up front and once per rebuild; rebuilds receive
-/// the largest alive component as a compact, connected graph.
+/// the largest alive component as a compact, connected graph. The builder
+/// returns a type-erased [`DynScheme`] — pass a closure over a registry
+/// builder (`|g| registry.build("tz2", g, &ctx)`) or box a typed build —
+/// so one monomorphization of this driver serves every scheme.
 ///
 /// # Errors
 ///
-/// Propagates builder failures as the `String` the builder produced.
-pub fn run_churn<S, F>(
+/// Propagates builder failures as the workspace-wide
+/// [`routing_core::BuildError`].
+pub fn run_churn<F>(
     base: &Graph,
     plan_cfg: &ChurnPlanConfig,
     cfg: &ChurnExperimentConfig,
     mut build: F,
-) -> Result<ChurnRunResult, String>
+) -> Result<ChurnRunResult, BuildError>
 where
-    S: RoutingScheme,
-    F: FnMut(&Graph) -> Result<S, String>,
+    F: FnMut(&Graph) -> Result<Box<dyn DynScheme>, BuildError>,
 {
     let t0 = Instant::now();
     let mut scheme = build(base)?;
     let build_ms = t0.elapsed().as_secs_f64() * 1e3;
 
     let mut result = ChurnRunResult {
-        scheme: scheme.name(),
+        scheme: scheme.name().to_string(),
         mode: plan_cfg.mode.name().to_string(),
         policy: cfg.policy.to_string(),
         base_n: base.n(),
@@ -212,7 +216,7 @@ where
         // `O(sources·(m + n log n))` parallel work instead of the dense
         // matrix's `O(n^2)` memory and `n` searches.
         let exact = SampledDistances::from_sources(graph, pair_sources(&pairs));
-        let stale = route_pairs_lossy(graph, &scheme, &exact, &pairs);
+        let stale = route_pairs_lossy(graph, scheme.as_ref(), &exact, &pairs);
         let stale_reachability = stale.reachability();
 
         let mut record = RoundRecord {
@@ -250,7 +254,7 @@ where
                 &mut pair_rng,
             );
             let compact_exact = SampledDistances::from_sources(&compact, pair_sources(&post_pairs));
-            let post = route_pairs_lossy(&compact, &scheme, &compact_exact, &post_pairs);
+            let post = route_pairs_lossy(&compact, scheme.as_ref(), &compact_exact, &post_pairs);
             record.post = Some(PostRebuild {
                 n: compact.n(),
                 m: compact.m(),
@@ -315,10 +319,12 @@ mod tests {
         Family::ErdosRenyi.generate(n, WeightModel::Unit, &mut rng)
     }
 
-    fn tz_builder(seed: u64) -> impl FnMut(&Graph) -> Result<TzRoutingScheme, String> {
+    fn tz_builder(
+        seed: u64,
+    ) -> impl FnMut(&Graph) -> Result<Box<dyn DynScheme>, BuildError> {
         move |g: &Graph| {
             let mut rng = StdRng::seed_from_u64(seed);
-            Ok(TzRoutingScheme::build(g, 2, &mut rng))
+            Ok(Box::new(TzRoutingScheme::build(g, 2, &mut rng)?))
         }
     }
 
@@ -450,14 +456,13 @@ mod tests {
         };
         let result = run_churn(&g, &plan_cfg, &cfg, |g: &Graph| {
             let mut rng = StdRng::seed_from_u64(8);
-            SchemeThreePlusEps::build(g, &Params::with_epsilon(0.5), &mut rng)
-                .map_err(|e| e.to_string())
+            Ok(Box::new(SchemeThreePlusEps::build(g, &Params::with_epsilon(0.5), &mut rng)?))
         })
         .unwrap();
         assert_eq!(result.rounds.len(), 2);
         assert!(!result.rounds[0].rebuilt, "every-2 must not fire on round 1");
         assert!(result.rounds[1].rebuilt, "every-2 must fire on round 2");
-        assert!(result.scheme.contains("3"));
+        assert_eq!(result.scheme, "warmup");
     }
 
     #[test]
@@ -465,8 +470,10 @@ mod tests {
         let g = base(80);
         let plan_cfg = ChurnPlanConfig { rounds: 1, ..ChurnPlanConfig::default() };
         let cfg = ChurnExperimentConfig::default();
-        let result =
-            run_churn(&g, &plan_cfg, &cfg, |g: &Graph| Ok(ExactScheme::build(g))).unwrap();
+        let result = run_churn(&g, &plan_cfg, &cfg, |g: &Graph| {
+            Ok(Box::new(ExactScheme::build(g)?))
+        })
+        .unwrap();
         let json = serde_json::to_string_pretty(&result).unwrap();
         assert!(json.contains("\"scheme\""));
         assert!(json.contains("\"rounds\""));

@@ -36,7 +36,7 @@
 //! use routing_churn::{run_churn, ChurnExperimentConfig, ChurnPlanConfig, RebuildPolicy, RemovalMode};
 //! use routing_graph::generators::{Family, WeightModel};
 //!
-//! # fn main() -> Result<(), String> {
+//! # fn main() -> Result<(), routing_core::BuildError> {
 //! let mut rng = StdRng::seed_from_u64(7);
 //! let g = Family::ErdosRenyi.generate(200, WeightModel::Unit, &mut rng);
 //! let plan = ChurnPlanConfig {
@@ -53,7 +53,7 @@
 //! };
 //! let result = run_churn(&g, &plan, &cfg, |g| {
 //!     let mut rng = StdRng::seed_from_u64(3);
-//!     Ok(TzRoutingScheme::build(g, 2, &mut rng))
+//!     Ok(Box::new(TzRoutingScheme::build(g, 2, &mut rng)?) as _)
 //! })?;
 //! assert_eq!(result.rounds.len(), 3);
 //! // Under targeted 10%-per-round churn, stale reachability decays…

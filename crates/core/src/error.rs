@@ -23,6 +23,12 @@ pub enum BuildError {
     },
     /// The Lemma 6 coloring could not be constructed for the derived sets.
     Coloring(ColoringError),
+    /// A scheme name was looked up in a registry that has no builder for it
+    /// (see the facade crate's `SchemeRegistry`).
+    UnknownScheme {
+        /// The unrecognized scheme name.
+        name: String,
+    },
 }
 
 impl fmt::Display for BuildError {
@@ -32,6 +38,9 @@ impl fmt::Display for BuildError {
             BuildError::TooSmall { what } => write!(f, "graph too small for parameters: {what}"),
             BuildError::BadParameter { what } => write!(f, "bad parameter: {what}"),
             BuildError::Coloring(e) => write!(f, "coloring failed: {e}"),
+            BuildError::UnknownScheme { name } => {
+                write!(f, "no registered scheme is named {name:?}")
+            }
         }
     }
 }
@@ -65,5 +74,7 @@ mod tests {
         assert!(e.to_string().contains("coloring failed"));
         assert!(Error::source(&e).is_some());
         assert!(Error::source(&BuildError::Disconnected).is_none());
+        let e = BuildError::UnknownScheme { name: "thm12".into() };
+        assert!(e.to_string().contains("thm12"));
     }
 }

@@ -32,6 +32,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod builder;
 mod error;
 mod params;
 pub mod scheme_2eps1;
@@ -41,6 +42,7 @@ pub mod seq;
 pub mod technique1;
 pub mod technique2;
 
+pub use builder::{BuildContext, SchemeBuilder, Thm10Builder, Thm11Builder, WarmupBuilder};
 pub use error::BuildError;
 pub use params::{HittingStrategy, Params};
 pub use scheme_2eps1::SchemeTwoPlusEps;

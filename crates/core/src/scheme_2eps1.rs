@@ -119,6 +119,11 @@ pub struct SchemeTwoPlusEps {
 }
 
 impl SchemeTwoPlusEps {
+    /// The stretch slack `ε` this scheme was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// Preprocesses the scheme for an unweighted connected graph `g`.
     ///
     /// # Errors
@@ -234,8 +239,8 @@ impl RoutingScheme for SchemeTwoPlusEps {
     type Label = Scheme2Label;
     type Header = Scheme2Header;
 
-    fn name(&self) -> String {
-        format!("thm10-(2+eps,1)(eps={})", self.epsilon)
+    fn name(&self) -> &str {
+        "thm10"
     }
 
     fn n(&self) -> usize {

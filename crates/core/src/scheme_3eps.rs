@@ -71,6 +71,11 @@ pub struct SchemeThreePlusEps {
 }
 
 impl SchemeThreePlusEps {
+    /// The stretch slack `ε` this scheme was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// Preprocesses the scheme for `g`.
     ///
     /// # Errors
@@ -152,8 +157,8 @@ impl RoutingScheme for SchemeThreePlusEps {
     type Label = Scheme3Label;
     type Header = Scheme3Header;
 
-    fn name(&self) -> String {
-        format!("warmup-3+eps(eps={})", self.epsilon)
+    fn name(&self) -> &str {
+        "warmup"
     }
 
     fn n(&self) -> usize {
@@ -288,7 +293,7 @@ mod tests {
         let scheme = SchemeThreePlusEps::build(&g, &Params::default(), &mut rng).unwrap();
         assert_eq!(scheme.q(), 6);
         assert_eq!(RoutingScheme::n(&scheme), 36);
-        assert!(scheme.name().contains("3+eps"));
+        assert_eq!(scheme.name(), "warmup");
         for v in g.vertices() {
             assert!(scheme.table_words(v) > 0);
             assert_eq!(scheme.label_words(v), 2);

@@ -110,6 +110,11 @@ pub struct SchemeFivePlusEps {
 }
 
 impl SchemeFivePlusEps {
+    /// The stretch slack `ε` this scheme was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// Preprocesses the scheme for a connected weighted graph `g`.
     ///
     /// # Errors
@@ -214,8 +219,8 @@ impl RoutingScheme for SchemeFivePlusEps {
     type Label = Scheme5Label;
     type Header = Scheme5Header;
 
-    fn name(&self) -> String {
-        format!("thm11-(5+eps)(eps={})", self.epsilon)
+    fn name(&self) -> &str {
+        "thm11"
     }
 
     fn n(&self) -> usize {

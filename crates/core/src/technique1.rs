@@ -391,6 +391,11 @@ pub struct Technique1Scheme {
 }
 
 impl Technique1Scheme {
+    /// The stretch slack `ε` this scheme was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// Builds the standalone scheme for a given partition (`set_of[v]` is the
     /// set index of `v`) using balls of size `q̃ = scaled(q)` where `q` is the
     /// number of distinct sets.
@@ -437,8 +442,8 @@ impl RoutingScheme for Technique1Scheme {
     type Label = Technique1Label;
     type Header = Technique1Header;
 
-    fn name(&self) -> String {
-        format!("lemma7(eps={})", self.epsilon)
+    fn name(&self) -> &str {
+        "lemma7"
     }
 
     fn n(&self) -> usize {

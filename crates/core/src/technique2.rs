@@ -341,6 +341,11 @@ pub struct Technique2Scheme {
 }
 
 impl Technique2Scheme {
+    /// The stretch slack `ε` this scheme was built with.
+    pub fn epsilon(&self) -> f64 {
+        self.epsilon
+    }
+
     /// Builds the standalone scheme. `color_of` assigns every vertex its `U`
     /// set; `dest_partition` lists the `W_j`. Balls use `q̃ = scaled(q)` where
     /// `q` is the number of sets.
@@ -386,8 +391,8 @@ impl RoutingScheme for Technique2Scheme {
     type Label = Technique2Label;
     type Header = Technique2Header;
 
-    fn name(&self) -> String {
-        format!("lemma8(eps={})", self.epsilon)
+    fn name(&self) -> &str {
+        "lemma8"
     }
 
     fn n(&self) -> usize {

@@ -18,7 +18,7 @@ use serde::{Deserialize, Serialize};
 
 use routing_graph::{DistanceOracle, Graph, VertexId};
 
-use crate::scheme::RoutingScheme;
+use crate::erased::DynScheme;
 use crate::simulator::simulate;
 use crate::stats::{SpaceStats, StretchStats};
 use crate::RouteError;
@@ -85,9 +85,9 @@ impl EvalReport {
 ///
 /// Propagates the first routing failure — a correct scheme never fails, so
 /// tests treat any error as a bug.
-pub fn evaluate<S: RoutingScheme, O: DistanceOracle, R: Rng>(
+pub fn evaluate<O: DistanceOracle, R: Rng>(
     g: &Graph,
-    scheme: &S,
+    scheme: &dyn DynScheme,
     exact: &O,
     selection: PairSelection,
     rng: &mut R,
@@ -106,9 +106,9 @@ pub fn evaluate<S: RoutingScheme, O: DistanceOracle, R: Rng>(
 ///
 /// Propagates the first routing failure, and reports disconnected pairs as
 /// [`RouteError::BadLabel`].
-pub fn evaluate_pairs<S: RoutingScheme, O: DistanceOracle>(
+pub fn evaluate_pairs<O: DistanceOracle>(
     g: &Graph,
-    scheme: &S,
+    scheme: &dyn DynScheme,
     exact: &O,
     pairs: &[(VertexId, VertexId)],
 ) -> Result<EvalReport, RouteError> {
@@ -131,7 +131,7 @@ pub fn evaluate_pairs<S: RoutingScheme, O: DistanceOracle>(
         label_words.iter().sum::<usize>() as f64 / label_words.len() as f64
     };
     Ok(EvalReport {
-        scheme: scheme.name(),
+        scheme: scheme.name().to_string(),
         n: g.n(),
         m: g.m(),
         pairs: pairs.len(),
@@ -235,9 +235,9 @@ pub fn sample_pairs_from<R: Rng>(
 /// # Errors
 ///
 /// Propagates the first routing failure, as [`evaluate`].
-pub fn evaluate_sampled<S: RoutingScheme, O: DistanceOracle, R: Rng>(
+pub fn evaluate_sampled<O: DistanceOracle, R: Rng>(
     g: &Graph,
-    scheme: &S,
+    scheme: &dyn DynScheme,
     oracle: &O,
     count: usize,
     rng: &mut R,
@@ -252,7 +252,7 @@ pub fn evaluate_sampled<S: RoutingScheme, O: DistanceOracle, R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::{Decision, HeaderSize};
+    use crate::scheme::{Decision, HeaderSize, RoutingScheme};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use routing_graph::apsp::DistanceMatrix;
@@ -291,8 +291,8 @@ mod tests {
     impl RoutingScheme for FullTable {
         type Label = VertexId;
         type Header = H;
-        fn name(&self) -> String {
-            "full".into()
+        fn name(&self) -> &str {
+            "full"
         }
         fn n(&self) -> usize {
             self.n

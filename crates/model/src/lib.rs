@@ -14,17 +14,28 @@
 //! message through a graph enforcing the port semantics and accounting for
 //! the traversed weight, and [`stats`] aggregates stretch and table-size
 //! measurements across many routed pairs.
+//!
+//! [`RoutingScheme`] keeps its per-scheme `Label`/`Header` types (and is
+//! therefore not object safe); the [`erased`] module provides the
+//! object-safe twin [`DynScheme`] — implemented automatically for every
+//! scheme — which every driver in this crate ([`simulate`], the
+//! evaluators, [`route_pairs_lossy`]) consumes, so heterogeneous scheme
+//! collections (`Box<dyn DynScheme>`, as built by the facade's
+//! `SchemeRegistry`) route through exactly the same code path as typed
+//! schemes.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod error;
+pub mod erased;
 pub mod eval;
 pub mod scheme;
 pub mod simulator;
 pub mod stale;
 pub mod stats;
 
+pub use erased::{DynScheme, ErasedHeader, ErasedLabel};
 pub use error::RouteError;
 pub use eval::{
     evaluate, evaluate_pairs, evaluate_sampled, sample_pairs_from, select_pairs_anchored,

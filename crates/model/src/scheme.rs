@@ -44,12 +44,23 @@ impl HeaderSize for () {
 /// footing between schemes.
 pub trait RoutingScheme {
     /// The label attached to a destination (computed in preprocessing).
-    type Label: Clone;
-    /// The mutable header a message carries.
-    type Header: Clone + HeaderSize;
+    ///
+    /// `'static` so the label can cross the type-erased
+    /// [`crate::erased::DynScheme`] boundary (every label is owned data —
+    /// vertex ids, distances, tree words — so the bound costs nothing).
+    type Label: Clone + 'static;
+    /// The mutable header a message carries. `'static` for the same reason
+    /// as [`RoutingScheme::Label`].
+    type Header: Clone + HeaderSize + 'static;
 
-    /// Human-readable scheme name used in harness output.
-    fn name(&self) -> String;
+    /// Scheme name used in harness output.
+    ///
+    /// By convention this is the scheme's key in the facade's
+    /// `SchemeRegistry` (e.g. `"warmup"`, `"tz2"`), so `--schemes` flags,
+    /// registry lookups and harness output can never drift apart. Schemes
+    /// whose name depends on a parameter cache the formatted string at
+    /// build time.
+    fn name(&self) -> &str;
 
     /// Number of vertices of the preprocessed graph.
     fn n(&self) -> usize;

@@ -2,7 +2,8 @@
 
 use routing_graph::{Graph, VertexId, Weight};
 
-use crate::scheme::{Decision, HeaderSize, RoutingScheme};
+use crate::erased::DynScheme;
+use crate::scheme::{Decision, HeaderSize};
 use crate::RouteError;
 
 /// The result of routing one message.
@@ -35,14 +36,18 @@ impl RouteOutcome {
 /// Routes a message from `source` to `dest` using `scheme`, with a default
 /// hop budget of `4 * n + 16`.
 ///
+/// Takes the scheme through the object-safe [`DynScheme`] surface, so the
+/// same code path serves typed schemes (every `&S where S: RoutingScheme`
+/// coerces) and registry-built `Box<dyn DynScheme>` values alike.
+///
 /// # Errors
 ///
 /// Propagates scheme errors, and fails if the scheme forwards on a
 /// non-existent port, loops past the hop budget, or delivers at the wrong
 /// vertex.
-pub fn simulate<S: RoutingScheme>(
+pub fn simulate(
     g: &Graph,
-    scheme: &S,
+    scheme: &dyn DynScheme,
     source: VertexId,
     dest: VertexId,
 ) -> Result<RouteOutcome, RouteError> {
@@ -54,9 +59,9 @@ pub fn simulate<S: RoutingScheme>(
 /// # Errors
 ///
 /// Same conditions as [`simulate`].
-pub fn simulate_with_ttl<S: RoutingScheme>(
+pub fn simulate_with_ttl(
     g: &Graph,
-    scheme: &S,
+    scheme: &dyn DynScheme,
     source: VertexId,
     dest: VertexId,
     max_hops: usize,
@@ -97,7 +102,7 @@ pub fn simulate_with_ttl<S: RoutingScheme>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::HeaderSize;
+    use crate::scheme::{HeaderSize, RoutingScheme};
     use routing_graph::generators;
     use routing_graph::shortest_path::dijkstra;
     use routing_graph::Port;
@@ -144,8 +149,8 @@ mod tests {
         type Label = VertexId;
         type Header = IdHeader;
 
-        fn name(&self) -> String {
-            self.name.clone()
+        fn name(&self) -> &str {
+            &self.name
         }
         fn n(&self) -> usize {
             self.n
@@ -215,8 +220,8 @@ mod tests {
     impl RoutingScheme for LoopScheme {
         type Label = VertexId;
         type Header = NoHeader;
-        fn name(&self) -> String {
-            "loop".into()
+        fn name(&self) -> &str {
+            "loop"
         }
         fn n(&self) -> usize {
             3
@@ -250,8 +255,8 @@ mod tests {
     impl RoutingScheme for EagerScheme {
         type Label = VertexId;
         type Header = NoHeader;
-        fn name(&self) -> String {
-            "eager".into()
+        fn name(&self) -> &str {
+            "eager"
         }
         fn n(&self) -> usize {
             3
@@ -288,8 +293,8 @@ mod tests {
     impl RoutingScheme for BadPortScheme {
         type Label = VertexId;
         type Header = NoHeader;
-        fn name(&self) -> String {
-            "bad-port".into()
+        fn name(&self) -> &str {
+            "bad-port"
         }
         fn n(&self) -> usize {
             3

@@ -29,7 +29,8 @@ use serde::{Deserialize, Serialize};
 
 use routing_graph::{DistanceOracle, Graph, VertexId, Weight};
 
-use crate::scheme::{Decision, RoutingScheme};
+use crate::erased::DynScheme;
+use crate::scheme::Decision;
 use crate::stats::StretchStats;
 
 /// Why a routed pair failed to be delivered.
@@ -150,9 +151,9 @@ impl ResilienceReport {
 /// Both endpoints of every pair must be vertices the scheme was built for
 /// (`id < scheme.n()`); [`sample_alive_pairs`] over a mask restricted to
 /// known vertices guarantees this.
-pub fn route_pairs_lossy<S: RoutingScheme, O: DistanceOracle>(
+pub fn route_pairs_lossy<O: DistanceOracle>(
     g: &Graph,
-    scheme: &S,
+    scheme: &dyn DynScheme,
     exact: &O,
     pairs: &[(VertexId, VertexId)],
 ) -> ResilienceReport {
@@ -187,9 +188,9 @@ pub fn route_pairs_lossy<S: RoutingScheme, O: DistanceOracle>(
 /// crucially — refuses to consult the scheme at a vertex it was not built
 /// for (`id >= scheme.n()`), which on a mutated graph is reachable through
 /// a stale port. Returns the traversed weight on delivery.
-fn walk_guarded<S: RoutingScheme>(
+fn walk_guarded(
     g: &Graph,
-    scheme: &S,
+    scheme: &dyn DynScheme,
     source: VertexId,
     dest: VertexId,
 ) -> Result<Weight, FailureKind> {
@@ -255,7 +256,7 @@ pub fn sample_alive_pairs<R: Rng>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scheme::HeaderSize;
+    use crate::scheme::{HeaderSize, RoutingScheme};
     use crate::RouteError;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
@@ -301,8 +302,8 @@ mod tests {
     impl RoutingScheme for FullTable {
         type Label = VertexId;
         type Header = H;
-        fn name(&self) -> String {
-            "full".into()
+        fn name(&self) -> &str {
+            "full"
         }
         fn n(&self) -> usize {
             self.n

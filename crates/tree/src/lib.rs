@@ -174,6 +174,7 @@ pub fn tree_route_step(node: &TreeNodeInfo, dest: &TreeLabel) -> Result<Decision
 /// A complete tree routing scheme for one rooted tree.
 #[derive(Debug, Clone)]
 pub struct TreeScheme {
+    name: String,
     root: VertexId,
     n_graph: usize,
     nodes: HashMap<VertexId, TreeNodeInfo>,
@@ -291,7 +292,13 @@ impl TreeScheme {
             labels.insert(v, TreeLabel { tin: tin[&v], light_ports: light_rev });
         }
 
-        Ok(TreeScheme { root, n_graph: g.n(), nodes, labels })
+        Ok(TreeScheme {
+            name: format!("tree-routing(root={root})"),
+            root,
+            n_graph: g.n(),
+            nodes,
+            labels,
+        })
     }
 
     /// Builds the router from a single-source shortest-path tree, spanning
@@ -378,8 +385,8 @@ impl RoutingScheme for TreeScheme {
     type Label = TreeLabel;
     type Header = TreeHeader;
 
-    fn name(&self) -> String {
-        format!("tree-routing(root={})", self.root)
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn n(&self) -> usize {

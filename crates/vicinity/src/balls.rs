@@ -109,6 +109,7 @@ impl BallTable {
 /// wrapper exists so Lemma 2 can be tested and benchmarked in isolation.
 #[derive(Debug, Clone)]
 pub struct BallRoutingScheme {
+    name: String,
     table: BallTable,
     n: usize,
 }
@@ -116,7 +117,11 @@ pub struct BallRoutingScheme {
 impl BallRoutingScheme {
     /// Builds the scheme with balls of size `ℓ`.
     pub fn new(g: &Graph, ell: usize) -> Self {
-        BallRoutingScheme { table: BallTable::build(g, ell), n: g.n() }
+        BallRoutingScheme {
+            name: format!("ball-routing(l={ell})"),
+            table: BallTable::build(g, ell),
+            n: g.n(),
+        }
     }
 
     /// Access to the underlying ball table.
@@ -139,8 +144,8 @@ impl RoutingScheme for BallRoutingScheme {
     type Label = VertexId;
     type Header = BallHeader;
 
-    fn name(&self) -> String {
-        format!("ball-routing(l={})", self.table.ell())
+    fn name(&self) -> &str {
+        &self.name
     }
 
     fn n(&self) -> usize {

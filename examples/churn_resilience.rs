@@ -37,9 +37,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cfg = ChurnExperimentConfig { pairs_per_round: 1500, sources_per_round: 0, policy, seed: 7 };
         let result = run_churn(&g, &plan, &cfg, |g: &Graph| {
             let mut rng = StdRng::seed_from_u64(11);
-            Ok(TzRoutingScheme::build(g, 2, &mut rng))
-        })
-        .map_err(std::io::Error::other)?;
+            Ok(Box::new(TzRoutingScheme::build(g, 2, &mut rng)?) as _)
+        })?;
 
         println!(
             "\npolicy {:<15} (initial build {:.0} ms)",

@@ -30,8 +30,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let thm11 = SchemeFivePlusEps::build(&g, &params, &mut rng)?;
     let warmup = SchemeThreePlusEps::build(&g, &params, &mut rng)?;
-    let tz2 = TzRoutingScheme::build(&g, 2, &mut rng);
-    let full = ExactScheme::build(&g);
+    let tz2 = TzRoutingScheme::build(&g, 2, &mut rng)?;
+    let full = ExactScheme::build(&g)?;
 
     println!("{:<28} {:>10} {:>12} {:>10} {:>10}", "scheme", "max table", "mean table", "max str", "mean str");
     let show = |name: &str, report: routing_model::eval::EvalReport| {

@@ -24,6 +24,9 @@
 //!   exact routing, and greedy spanners, used as comparison points.
 //! * [`churn`] — dynamic-churn workloads: seeded churn schedules, stale-table
 //!   degradation measurement, and rebuild policies with cost accounting.
+//! * [`registry`] — the string-keyed [`registry::SchemeRegistry`]: one
+//!   `build(name, graph, ctx) -> Box<dyn DynScheme>` surface over every
+//!   scheme above, the dispatch point of every harness binary.
 //!
 //! # Example
 //!
@@ -44,6 +47,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod registry;
+
 pub use routing_baselines as baselines;
 pub use routing_churn as churn;
 pub use routing_core as core;
@@ -55,13 +60,22 @@ pub use routing_vicinity as vicinity;
 
 /// Convenient re-exports of the items most applications need.
 pub mod prelude {
+    pub use crate::registry::SchemeRegistry;
     pub use routing_churn::{
         run_churn, ChurnExperimentConfig, ChurnPlanConfig, RebuildPolicy, RemovalMode,
     };
-    pub use routing_core::{BuildError, Params, SchemeThreePlusEps};
+    pub use routing_core::{
+        BuildContext, BuildError, Params, SchemeBuilder, SchemeThreePlusEps,
+    };
     pub use routing_graph::generators;
     pub use routing_graph::{
         DistanceOracle, Graph, GraphBuilder, SampledDistances, VertexId, Weight,
     };
+    // `DynScheme` is deliberately *not* in the prelude: every scheme
+    // implements both it and `RoutingScheme`, so importing both traits
+    // makes plain method calls (`scheme.table_words(v)`) ambiguous. Method
+    // calls on `Box<dyn DynScheme>` resolve without the trait in scope;
+    // import `routing_model::DynScheme` explicitly where the trait itself
+    // is named.
     pub use routing_model::{simulate, Decision, RouteError, RoutingScheme};
 }

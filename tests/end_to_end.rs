@@ -64,7 +64,7 @@ fn table_size_ordering_matches_table_1() {
     let thm11 = SchemeFivePlusEps::build(&g, &params, &mut rng).unwrap();
     let warm = SchemeThreePlusEps::build(&g, &params, &mut rng).unwrap();
     let thm10 = SchemeTwoPlusEps::build(&unweighted, &params, &mut rng).unwrap();
-    let exact = ExactScheme::build(&g);
+    let exact = ExactScheme::build(&g).unwrap();
 
     let mean = |f: &dyn Fn(VertexId) -> usize| -> f64 {
         g.vertices().map(f).sum::<usize>() as f64 / g.n() as f64
@@ -84,7 +84,7 @@ fn tz_baseline_and_oracle_agree_with_paper_claims() {
     let g = weighted_instance(150, 21);
     let exact = DistanceMatrix::new(&g);
     let mut rng = StdRng::seed_from_u64(22);
-    let scheme = TzRoutingScheme::build(&g, 2, &mut rng);
+    let scheme = TzRoutingScheme::build(&g, 2, &mut rng).unwrap();
     let oracle = TzOracle::new(scheme.hierarchy().clone());
     for u in g.vertices().step_by(7) {
         for v in g.vertices().step_by(5) {
@@ -136,4 +136,38 @@ fn facade_prelude_builds_and_routes() {
     let out = simulate(&g, &scheme, VertexId(0), VertexId(30)).unwrap();
     assert_eq!(out.destination(), VertexId(30));
     assert!(out.weight >= 30);
+}
+
+#[test]
+fn registry_builds_route_and_honour_the_naming_invariant() {
+    use compact_routing::registry::SchemeRegistry;
+    use routing_core::BuildContext;
+
+    // Unweighted instance: valid input for every registered scheme.
+    let mut rng = StdRng::seed_from_u64(51);
+    let g = generators::erdos_renyi(100, 0.08, WeightModel::Unit, &mut rng);
+    let exact = DistanceMatrix::new(&g);
+    let registry = SchemeRegistry::with_defaults();
+    assert_eq!(
+        registry.names(),
+        vec!["warmup", "thm10", "thm11", "tz2", "tz3", "exact", "spanner"],
+        "the CLI scheme names are a documented, ordered contract"
+    );
+
+    let ctx = BuildContext { seed: 52, threads: 1, ..BuildContext::default() };
+    let mut rng = StdRng::seed_from_u64(53);
+    for key in registry.names() {
+        let scheme = registry.build(key, &g, &ctx).unwrap_or_else(|e| panic!("{key}: {e}"));
+        assert_eq!(scheme.name(), key, "scheme name must equal its registry key");
+        // Route a sample through the erased scheme and sanity-check against
+        // the exact distances (every scheme in the registry has stretch
+        // <= 7 at these parameters).
+        let report = evaluate(&g, scheme.as_ref(), &exact, PairSelection::Sampled(150), &mut rng)
+            .unwrap_or_else(|e| panic!("{key} failed to route: {e}"));
+        assert_eq!(report.scheme, key);
+        assert!(
+            report.stretch.max_multiplicative().unwrap_or(1.0) <= 7.0 + 1.0,
+            "{key} exceeded every registered stretch bound"
+        );
+    }
 }

@@ -252,7 +252,7 @@ fn parallel_and_sequential_scheme_builds_are_identical() {
     });
     assert_threads_invariant(&g, || {
         let mut rng = StdRng::seed_from_u64(7);
-        routing_baselines::TzRoutingScheme::build(&g, 2, &mut rng)
+        routing_baselines::TzRoutingScheme::build(&g, 2, &mut rng).unwrap()
     });
 }
 
@@ -269,6 +269,163 @@ fn parallel_and_sequential_ground_truth_are_identical() {
     for u in g.vertices() {
         for v in g.vertices() {
             assert_eq!(seq.dist(u, v), par.dist(u, v));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Erasure fidelity: the object-safe `DynScheme` surface must be observably
+// indistinguishable from the typed `RoutingScheme` it erases.
+// ---------------------------------------------------------------------------
+
+/// Walks `(u, v)` twice — once through the typed `RoutingScheme` methods,
+/// once through the erased `DynScheme` surface of the *same* scheme value —
+/// asserting identical decisions, identical header words at every hop, and
+/// the same delivered weight. Also checks the per-vertex word accounting
+/// and the label word count the erased label carries.
+fn assert_erasure_fidelity<S: routing_model::RoutingScheme>(
+    g: &Graph,
+    scheme: &S,
+    pairs: &[(VertexId, VertexId)],
+) {
+    use routing_model::{Decision, DynScheme, HeaderSize, RoutingScheme};
+    let erased: &dyn DynScheme = scheme;
+    assert_eq!(RoutingScheme::name(scheme), erased.name());
+    assert_eq!(RoutingScheme::n(scheme), erased.n());
+    for v in g.vertices() {
+        assert_eq!(RoutingScheme::table_words(scheme, v), erased.table_words(v));
+        assert_eq!(RoutingScheme::label_words(scheme, v), erased.label_words(v));
+    }
+    for &(u, v) in pairs {
+        let typed_label = RoutingScheme::label_of(scheme, v);
+        let erased_label = erased.label_of(v);
+        assert_eq!(
+            erased_label.words(),
+            RoutingScheme::label_words(scheme, v),
+            "erased label must carry the typed word count"
+        );
+        let mut typed_header =
+            RoutingScheme::init_header(scheme, u, &typed_label).expect("typed init");
+        let mut erased_header = erased.init_header(u, &erased_label).expect("erased init");
+        let mut at = u;
+        let mut typed_weight = 0u64;
+        let mut hops = 0usize;
+        loop {
+            assert_eq!(
+                HeaderSize::words(&typed_header),
+                HeaderSize::words(&erased_header),
+                "header words diverged at {at} while routing {u}->{v}"
+            );
+            let td = RoutingScheme::decide(scheme, at, &mut typed_header, &typed_label)
+                .expect("typed decide");
+            let ed =
+                erased.decide(at, &mut erased_header, &erased_label).expect("erased decide");
+            assert_eq!(td, ed, "decision diverged at {at} while routing {u}->{v}");
+            match td {
+                Decision::Deliver => {
+                    assert_eq!(at, v, "scheme delivered at the wrong vertex");
+                    break;
+                }
+                Decision::Forward(port) => {
+                    let edge = g.neighbor_at(at, port);
+                    typed_weight += edge.weight;
+                    at = edge.to;
+                    hops += 1;
+                    assert!(hops <= 4 * g.n() + 16, "walk exceeded the hop budget");
+                }
+            }
+        }
+        // The shared simulator (which consumes &dyn DynScheme) must agree
+        // with the typed step-by-step walk above.
+        let out = simulate(g, erased, u, v).expect("simulate routes the pair");
+        assert_eq!(out.weight, typed_weight);
+        assert_eq!(out.hops, hops);
+    }
+}
+
+/// A shared sampled-pair population for the fidelity walks.
+fn fidelity_pairs(g: &Graph, rng: &mut StdRng) -> Vec<(VertexId, VertexId)> {
+    let ids: Vec<VertexId> = g.vertices().collect();
+    routing_model::sample_pairs_from(&ids, &ids, 30, rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 6, .. ProptestConfig::default() })]
+
+    /// For every scheme the default registry registers, the erased
+    /// `DynScheme` and the typed scheme produce identical decisions, routed
+    /// weights, header words, and table/label words on sampled pairs of a
+    /// random (unweighted — valid input for every scheme, including Thm 10)
+    /// Erdős–Rényi graph.
+    #[test]
+    fn erased_and_typed_schemes_are_indistinguishable(seed in 1u64..1_000, n in 40usize..70) {
+        use compact_routing::registry::SchemeRegistry;
+        use routing_core::{BuildContext, Params};
+
+        let mut gen_rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, 10.0 / n as f64, WeightModel::Unit, &mut gen_rng);
+        let registry = SchemeRegistry::with_defaults();
+        let ctx = BuildContext {
+            params: Params::with_epsilon(0.5),
+            seed: seed ^ 0xf1de,
+            threads: 1,
+        };
+        let mut pair_rng = StdRng::seed_from_u64(seed ^ 0xabcd);
+        let pairs = fidelity_pairs(&g, &mut pair_rng);
+
+        for key in registry.names() {
+            // The registry-built scheme must be interchangeable with a
+            // typed build from the same context...
+            let built = registry.build(key, &g, &ctx).expect(key);
+            prop_assert_eq!(built.name(), key);
+            // ...and the typed twin, viewed through the erased surface,
+            // must be observably identical to its typed self.
+            let mut rng = ctx.rng();
+            match key {
+                "warmup" => assert_erasure_fidelity(
+                    &g,
+                    &SchemeThreePlusEps::build(&g, &ctx.params, &mut rng).unwrap(),
+                    &pairs,
+                ),
+                "thm10" => assert_erasure_fidelity(
+                    &g,
+                    &routing_core::SchemeTwoPlusEps::build(&g, &ctx.params, &mut rng).unwrap(),
+                    &pairs,
+                ),
+                "thm11" => assert_erasure_fidelity(
+                    &g,
+                    &SchemeFivePlusEps::build(&g, &ctx.params, &mut rng).unwrap(),
+                    &pairs,
+                ),
+                "tz2" => assert_erasure_fidelity(
+                    &g,
+                    &routing_baselines::TzRoutingScheme::build(&g, 2, &mut rng).unwrap(),
+                    &pairs,
+                ),
+                "tz3" => assert_erasure_fidelity(
+                    &g,
+                    &routing_baselines::TzRoutingScheme::build(&g, 3, &mut rng).unwrap(),
+                    &pairs,
+                ),
+                "exact" => assert_erasure_fidelity(
+                    &g,
+                    &routing_baselines::ExactScheme::build(&g).unwrap(),
+                    &pairs,
+                ),
+                "spanner" => assert_erasure_fidelity(
+                    &g,
+                    &routing_baselines::SpannerScheme::build(&g, 2).unwrap(),
+                    &pairs,
+                ),
+                other => panic!("registered scheme {other} has no typed twin in this test"),
+            }
+            // Finally, the registry-built (erased) scheme routes every
+            // sampled pair to the right destination through the shared
+            // simulator.
+            for &(u, v) in &pairs {
+                let a = simulate(&g, built.as_ref(), u, v).expect("registry scheme routes");
+                assert_eq!(a.destination(), v);
+            }
         }
     }
 }
