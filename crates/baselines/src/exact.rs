@@ -19,7 +19,7 @@
 //! [`routing_par::threads`] worker threads.
 
 use routing_core::{BuildContext, BuildError, SchemeBuilder};
-use routing_graph::shortest_path::dijkstra;
+use routing_graph::SearchScratch;
 use routing_graph::{Graph, Port, VertexId};
 use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
 
@@ -49,19 +49,24 @@ impl ExactScheme {
         }
         // Column v of the table comes from the tree rooted at v: the parent
         // of u in that tree is the next hop on a shortest path from u to v.
-        let columns: Vec<Vec<Option<Port>>> = routing_par::par_map_index(n, |v| {
-            let v = VertexId(v as u32);
-            let spt = dijkstra(g, v);
-            g.vertices()
-                .map(|u| {
-                    if u == v {
-                        None
-                    } else {
-                        spt.parent(u).and_then(|p| g.port_to(u, p))
-                    }
-                })
-                .collect()
-        });
+        // One reused search workspace per worker thread.
+        let columns: Vec<Vec<Option<Port>>> = routing_par::par_map_scratch(
+            n,
+            || SearchScratch::for_graph(g),
+            |scratch, v| {
+                let v = VertexId(v as u32);
+                scratch.dijkstra_into(g, v);
+                g.vertices()
+                    .map(|u| {
+                        if u == v {
+                            None
+                        } else {
+                            scratch.parent(u).and_then(|p| g.port_to(u, p))
+                        }
+                    })
+                    .collect()
+            },
+        );
         let mut next = vec![vec![None; n]; n];
         for (v, column) in columns.into_iter().enumerate() {
             for u in 0..n {

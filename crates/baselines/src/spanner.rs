@@ -22,7 +22,7 @@
 //! detour, and shortest paths compose such certificates edge by edge.
 
 use routing_core::{BuildContext, BuildError, SchemeBuilder};
-use routing_graph::shortest_path::dijkstra;
+use routing_graph::SearchScratch;
 use routing_graph::{Graph, GraphBuilder, Port, VertexId};
 use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
 
@@ -40,9 +40,12 @@ pub fn greedy_spanner(g: &Graph, k: usize) -> Graph {
     edges.sort_by_key(|&(u, v, w)| (w, u, v));
     let mut builder = GraphBuilder::new(g.n());
     let mut spanner = builder.clone().build();
+    // One workspace reused across all O(m) distance queries.
+    let mut scratch = SearchScratch::new(g.n());
     for (u, v, w) in edges {
         // Distance between u and v in the current spanner.
-        let keep = match dijkstra(&spanner, u).dist(v) {
+        scratch.dijkstra_into(&spanner, u);
+        let keep = match scratch.dist(v) {
             Some(d) => (d as u128) > factor * (w as u128),
             None => true,
         };
@@ -113,19 +116,24 @@ impl SpannerScheme {
         let spanner = greedy_spanner(g, k);
         // Column v comes from the spanner tree rooted at v; the parent edge
         // exists in g (the spanner's edges are a subset), so it has a port.
-        let columns: Vec<Vec<Option<Port>>> = routing_par::par_map_index(n, |v| {
-            let v = VertexId(v as u32);
-            let spt = dijkstra(&spanner, v);
-            g.vertices()
-                .map(|u| {
-                    if u == v {
-                        None
-                    } else {
-                        spt.parent(u).and_then(|p| g.port_to(u, p))
-                    }
-                })
-                .collect()
-        });
+        // One reused search workspace per worker thread.
+        let columns: Vec<Vec<Option<Port>>> = routing_par::par_map_scratch(
+            n,
+            || SearchScratch::for_graph(&spanner),
+            |scratch, v| {
+                let v = VertexId(v as u32);
+                scratch.dijkstra_into(&spanner, v);
+                g.vertices()
+                    .map(|u| {
+                        if u == v {
+                            None
+                        } else {
+                            scratch.parent(u).and_then(|p| g.port_to(u, p))
+                        }
+                    })
+                    .collect()
+            },
+        );
         let mut next = vec![vec![None; n]; n];
         for (v, column) in columns.into_iter().enumerate() {
             for (u, port) in column.into_iter().enumerate() {

@@ -42,13 +42,13 @@
 //! the caller's thread, so the built hierarchy is bit-identical for every
 //! thread count.
 
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 use rand::Rng;
 
 use routing_core::{BuildContext, BuildError, SchemeBuilder};
-use routing_graph::shortest_path::{cluster_dijkstra, multi_source_dijkstra};
-use routing_graph::{Graph, VertexId, Weight, INFINITY};
+use routing_graph::shortest_path::multi_source_dijkstra;
+use routing_graph::{Graph, SearchScratch, VertexId, Weight, INFINITY};
 use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
 use routing_tree::{tree_route_step, TreeLabel, TreeScheme};
 use routing_vicinity::sample_centers_bounded;
@@ -147,20 +147,25 @@ impl TzHierarchy {
         // one heavy-path decomposition per vertex — the dominant cost of the
         // build — fanned out in parallel; the bunch inversion below merges in
         // ascending `w` order, so the hierarchy is thread-count independent.
-        let per_w: Vec<(Vec<(VertexId, Weight)>, TreeScheme)> =
-            routing_par::par_map_index(n, |w| {
+        let per_w: Vec<(Vec<(VertexId, Weight)>, TreeScheme)> = routing_par::par_map_scratch(
+            n,
+            || (SearchScratch::for_graph(g), vec![INFINITY; n]),
+            |(scratch, bound), w| {
                 let w = VertexId(w as u32);
                 let lvl = level_of[w.index()];
-                let bound: Vec<Weight> = if lvl + 1 < k {
-                    g.vertices().map(|v| pivots[lvl + 1][v.index()].1).collect()
+                if lvl + 1 < k {
+                    for v in 0..n {
+                        bound[v] = pivots[lvl + 1][v].1;
+                    }
                 } else {
-                    vec![INFINITY; n]
-                };
-                let restricted = cluster_dijkstra(g, w, &bound);
-                let tree = TreeScheme::from_restricted(g, &restricted)
+                    bound.fill(INFINITY);
+                }
+                scratch.cluster_into(g, w, bound);
+                let tree = TreeScheme::from_scratch(g, scratch)
                     .expect("restricted tree of a connected component is valid");
-                (restricted.members().to_vec(), tree)
-            });
+                (scratch.order().to_vec(), tree)
+            },
+        );
         let mut cluster_trees = HashMap::with_capacity(n);
         let mut bunches: Vec<Vec<(VertexId, Weight)>> = vec![Vec::new(); n];
         for (w, (members, tree)) in per_w.into_iter().enumerate() {
@@ -218,22 +223,69 @@ impl TzHierarchy {
     }
 }
 
+/// All bunches `B(v)` flattened into one id-sorted CSR table.
+///
+/// The query path of the oracle and the routing scheme is a **membership
+/// probe** — "is `w ∈ B(v)`, and at what distance?" — which used to go
+/// through one `HashMap`/`HashSet` per vertex. Here every bunch is a
+/// contiguous id-sorted slice of `(w, d(v, w))` pairs inside two flat
+/// arrays, so the probe is a binary search over adjacent memory: no hashing,
+/// no per-vertex allocations, and the whole structure is two `Vec`s
+/// regardless of `n`.
+#[derive(Debug, Clone)]
+struct FlatBunches {
+    /// `offsets[v]..offsets[v+1]` indexes `entries` for vertex `v`.
+    offsets: Vec<u32>,
+    /// Bunch entries `(w, d(v, w))`, sorted by `w` within each vertex.
+    entries: Vec<(VertexId, Weight)>,
+}
+
+impl FlatBunches {
+    /// Flattens per-vertex bunch lists (any order) into the CSR form.
+    fn new(bunches: &[Vec<(VertexId, Weight)>]) -> Self {
+        let total = bunches.iter().map(Vec::len).sum();
+        let mut offsets = Vec::with_capacity(bunches.len() + 1);
+        let mut entries = Vec::with_capacity(total);
+        offsets.push(0u32);
+        for bunch in bunches {
+            let start = entries.len();
+            entries.extend_from_slice(bunch);
+            entries[start..].sort_unstable_by_key(|&(w, _)| w);
+            offsets.push(entries.len() as u32);
+        }
+        FlatBunches { offsets, entries }
+    }
+
+    /// `d(v, w)` if `w ∈ B(v)`.
+    #[inline]
+    fn get(&self, v: VertexId, w: VertexId) -> Option<Weight> {
+        let slice =
+            &self.entries[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize];
+        slice
+            .binary_search_by_key(&w, |&(x, _)| x)
+            .ok()
+            .map(|i| slice[i].1)
+    }
+
+    /// True if `w ∈ B(v)`.
+    #[inline]
+    fn contains(&self, v: VertexId, w: VertexId) -> bool {
+        self.get(v, w).is_some()
+    }
+}
+
 /// The Thorup–Zwick `(2k−1)`-stretch distance oracle \[22\].
 #[derive(Debug, Clone)]
 pub struct TzOracle {
     hierarchy: TzHierarchy,
-    /// Bunch distances as hash maps for O(1) membership queries.
-    bunch_dist: Vec<HashMap<VertexId, Weight>>,
+    /// Bunch distances as one flat id-sorted CSR table (see [`FlatBunches`]).
+    bunch_dist: FlatBunches,
 }
 
 impl TzOracle {
     /// Builds the oracle on top of an existing hierarchy.
     pub fn new(hierarchy: TzHierarchy) -> Self {
-        let bunch_dist = hierarchy
-            .bunches
-            .iter()
-            .map(|b| b.iter().copied().collect())
-            .collect();
+        let bunch_dist = FlatBunches::new(&hierarchy.bunches);
         TzOracle { hierarchy, bunch_dist }
     }
 
@@ -260,8 +312,8 @@ impl TzOracle {
         let mut w = u;
         let mut i = 0usize;
         loop {
-            if let Some(&dwv) = self.bunch_dist[v.index()].get(&w) {
-                let dwu = self.bunch_dist[u.index()].get(&w).copied().unwrap_or_else(|| {
+            if let Some(dwv) = self.bunch_dist.get(v, w) {
+                let dwu = self.bunch_dist.get(u, w).unwrap_or_else(|| {
                     // w is p_i(u), so d(u, w) is the pivot distance.
                     self.hierarchy.pivots[i][u.index()].1
                 });
@@ -318,18 +370,15 @@ pub struct TzRoutingScheme {
     /// Cached scheme name: the registry key `tz<k>` (`tz2`, `tz3`, ...).
     name: String,
     hierarchy: TzHierarchy,
-    /// Bunch membership for O(1) routing decisions at the source.
-    bunch_set: Vec<HashSet<VertexId>>,
+    /// Bunch membership for routing decisions at the source, as one flat
+    /// id-sorted CSR table probed by binary search (see [`FlatBunches`]).
+    bunch_set: FlatBunches,
 }
 
 impl TzRoutingScheme {
     /// Builds the scheme on top of an existing hierarchy.
     pub fn new(hierarchy: TzHierarchy) -> Self {
-        let bunch_set = hierarchy
-            .bunches
-            .iter()
-            .map(|b| b.iter().map(|&(w, _)| w).collect())
-            .collect();
+        let bunch_set = FlatBunches::new(&hierarchy.bunches);
         TzRoutingScheme { name: format!("tz{}", hierarchy.k()), hierarchy, bunch_set }
     }
 
@@ -395,7 +444,7 @@ impl RoutingScheme for TzRoutingScheme {
         }
         for i in 0..self.hierarchy.k() {
             let w = dest.pivots[i];
-            if w == source || self.bunch_set[source.index()].contains(&w) {
+            if w == source || self.bunch_set.contains(source, w) {
                 let label = dest.tree_labels[i].clone();
                 if label.tin == u32::MAX {
                     return Err(RouteError::BadLabel {
@@ -479,6 +528,8 @@ impl SchemeBuilder for TzBuilder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::collections::HashSet;
+
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use routing_graph::apsp::DistanceMatrix;

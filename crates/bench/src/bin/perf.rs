@@ -1,0 +1,375 @@
+//! Experiment E-PERF: the tracked performance baseline of the allocation-free
+//! search kernel — build and query throughput per scheme, plus the headline
+//! ball-kernel comparison against the pre-refactor `HashMap` implementation.
+//!
+//! Every measurement is **single-threaded** (`threads = 1`), so the numbers
+//! track the kernel itself rather than the core count of the machine, and
+//! successive `BENCH_*.json` artefacts stay comparable across PRs. Per
+//! vertex count the binary measures:
+//!
+//! 1. **ball-kernel** — `BallTable::build` (bounded scratch searches + flat
+//!    CSR layout) against the same table assembled from the pre-refactor
+//!    per-vertex `HashMap` ball search
+//!    ([`routing_graph::reference::ball_hashmap`]). The two tables are
+//!    verified **identical** (members, radii, ports) — any divergence makes
+//!    the run fail with a non-zero exit, which is what the CI perf smoke
+//!    job keys on.
+//! 2. **scheme rows** — for each selected registry scheme: preprocessing
+//!    wall-clock and the wall-clock of `--queries` routed queries over
+//!    seeded random pairs (reported as queries/second).
+//!
+//! Run with: `cargo run -p routing-bench --release --bin perf -- [OPTIONS]`
+//!
+//! # Options
+//!
+//! | flag | default | meaning |
+//! |------|---------|---------|
+//! | `--n <LIST>` | `1000,5000,10000` | comma list of vertex counts |
+//! | `--schemes <LIST>` | `tz2,warmup,thm11` | comma list of registered scheme names, or `all` |
+//! | `--queries <Q>` | `10000` | routed queries per scheme |
+//! | `--ell <L>` | `0` | ball size for the kernel row (0 = ⌈√n⌉) |
+//! | `--family <F>` | `erdos-renyi` | `erdos-renyi`, `geometric`, `grid`, or `scale-free` |
+//! | `--epsilon <E>` | `0.25` | stretch slack of the paper's schemes |
+//! | `--seed <S>` | `13` | master seed |
+//! | `--json <PATH>` | — | write every row as a JSON array (`BENCH_5.json` format) |
+//! | `--help` | — | print this table |
+//!
+//! The committed `BENCH_5.json` at the repository root is this binary's
+//! output with default flags; future PRs append `BENCH_<pr>.json` artefacts
+//! from the same format so the perf trajectory of the repo is inspectable.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+use compact_routing::registry::SchemeRegistry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_bench::cli::{self, Args, CliError};
+use routing_bench::{assert_meta_covers_registry, scheme_meta};
+use routing_core::{BuildContext, Params};
+use routing_graph::generators::{Family, WeightModel};
+use routing_graph::{reference, Graph, Port, VertexId};
+use routing_model::{sample_pairs_from, simulate};
+use routing_vicinity::BallTable;
+use serde::Serialize;
+
+struct Options {
+    sizes: Vec<usize>,
+    schemes: Vec<String>,
+    queries: usize,
+    ell: usize,
+    family: Family,
+    epsilon: f64,
+    seed: u64,
+    json: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            sizes: vec![1000, 5000, 10000],
+            schemes: vec!["tz2".into(), "warmup".into(), "thm11".into()],
+            queries: 10_000,
+            ell: 0,
+            family: Family::ErdosRenyi,
+            epsilon: 0.25,
+            seed: 13,
+            json: None,
+        }
+    }
+}
+
+/// One measurement row of the perf baseline.
+#[derive(Debug, Clone, Serialize)]
+struct Row {
+    /// `"ball-kernel"` or `"scheme"`.
+    kind: String,
+    n: usize,
+    m: usize,
+    /// Registry key (`null` for the kernel row).
+    scheme: Option<String>,
+    /// Ball size of the kernel row (`null` for scheme rows).
+    ell: Option<usize>,
+    /// Single-threaded build wall-clock, milliseconds.
+    build_ms: f64,
+    /// Pre-refactor (HashMap) build wall-clock, milliseconds (kernel row).
+    reference_ms: Option<f64>,
+    /// `reference_ms / build_ms` (kernel row).
+    speedup: Option<f64>,
+    /// Whether the flat and reference tables were identical (kernel row).
+    identical: Option<bool>,
+    /// Routed queries (scheme rows).
+    queries: Option<usize>,
+    /// Wall-clock of all routed queries, milliseconds (scheme rows).
+    route_ms: Option<f64>,
+    /// Routed queries per second (scheme rows).
+    queries_per_sec: Option<f64>,
+}
+
+fn usage() -> ! {
+    print_usage();
+    std::process::exit(2)
+}
+
+fn print_usage() {
+    // Keep this text in sync with the module doc table above and README.md.
+    eprintln!(
+        "perf — allocation-free kernel perf baseline (single-threaded build + query throughput)
+
+USAGE: perf [OPTIONS]
+
+OPTIONS:
+  --n <LIST>              comma list of vertex counts            [default: 1000,5000,10000]
+  --schemes <LIST>        registered scheme names, or 'all'      [default: tz2,warmup,thm11]
+  --queries <Q>           routed queries per scheme              [default: 10000]
+  --ell <L>               ball size for the kernel row (0 = sqrt n) [default: 0]
+  --family <F>            erdos-renyi|geometric|grid|scale-free  [default: erdos-renyi]
+  --epsilon <E>           epsilon of the paper's schemes         [default: 0.25]
+  --seed <S>              master seed                            [default: 13]
+  --json <PATH>           write all rows as a JSON array
+  --help                  show this help"
+    );
+}
+
+fn parse_options(registry: &SchemeRegistry) -> Options {
+    let mut opts = Options::default();
+    let mut args = Args::from_env();
+    while let Some(flag) = args.next_flag() {
+        if flag == "--help" || flag == "-h" {
+            print_usage();
+            std::process::exit(0);
+        }
+        let value = cli::ok_or_usage(args.value(&flag), usage);
+        match flag.as_str() {
+            "--n" => opts.sizes = cli::ok_or_usage(cli::parse_usize_list(&flag, &value), usage),
+            "--schemes" => {
+                opts.schemes =
+                    cli::ok_or_usage(cli::parse_schemes(&flag, &value, &registry.names()), usage)
+            }
+            "--queries" => {
+                opts.queries =
+                    cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
+            }
+            "--ell" => {
+                opts.ell =
+                    cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
+            }
+            "--family" => opts.family = cli::ok_or_usage(cli::parse_family(&flag, &value), usage),
+            "--epsilon" => {
+                opts.epsilon =
+                    cli::ok_or_usage(cli::parse_value(&flag, &value, "expected a float"), usage)
+            }
+            "--seed" => {
+                opts.seed =
+                    cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
+            }
+            "--json" => opts.json = Some(value),
+            _ => cli::die(CliError::UnknownFlag { flag }, usage),
+        }
+    }
+    opts
+}
+
+/// Builds the pre-refactor ball table (one `HashMap` search per vertex, one
+/// port map per vertex) sequentially — the timing and identity baseline.
+fn reference_ball_table(
+    g: &Graph,
+    ell: usize,
+) -> Vec<(routing_graph::shortest_path::Ball, HashMap<VertexId, Port>)> {
+    g.vertices()
+        .map(|u| {
+            let b = reference::ball_hashmap(g, u, ell);
+            let mut port_map = HashMap::with_capacity(b.len());
+            for &(v, _) in b.members() {
+                if v == u {
+                    continue;
+                }
+                let hop = b.first_hop(v).expect("non-center members have a first hop");
+                port_map.insert(v, g.port_to(u, hop).expect("first hop is a neighbour"));
+            }
+            (b, port_map)
+        })
+        .collect()
+}
+
+/// The headline kernel row: flat `BallTable::build` vs the reference build,
+/// with a full identity check (members, radii, ports).
+fn measure_ball_kernel(g: &Graph, ell: usize) -> Row {
+    let t = Instant::now();
+    let flat = BallTable::build(g, ell);
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let reference = reference_ball_table(g, ell);
+    let reference_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let mut identical = true;
+    for (i, (b, ports)) in reference.iter().enumerate() {
+        let u = VertexId(i as u32);
+        let view = flat.ball(u);
+        if view.members() != b.members() || view.radius() != b.radius() {
+            identical = false;
+            break;
+        }
+        if b.members()
+            .iter()
+            .any(|&(v, _)| v != u && flat.first_port(u, v) != ports.get(&v).copied())
+        {
+            identical = false;
+            break;
+        }
+    }
+
+    Row {
+        kind: "ball-kernel".into(),
+        n: g.n(),
+        m: g.m(),
+        scheme: None,
+        ell: Some(ell),
+        build_ms,
+        reference_ms: Some(reference_ms),
+        speedup: Some(reference_ms / build_ms.max(1e-9)),
+        identical: Some(identical),
+        queries: None,
+        route_ms: None,
+        queries_per_sec: None,
+    }
+}
+
+/// One scheme row: single-threaded registry build plus `queries` routed
+/// queries over seeded random pairs. Returns `None` (after reporting) if the
+/// build fails.
+fn measure_scheme(
+    registry: &SchemeRegistry,
+    key: &str,
+    g: &Graph,
+    ctx: &BuildContext,
+    queries: usize,
+    seed: u64,
+) -> Option<Row> {
+    let t = Instant::now();
+    let scheme = match registry.build(key, g, ctx) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("build failed: scheme={key}: {e}");
+            return None;
+        }
+    };
+    let build_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let ids: Vec<VertexId> = g.vertices().collect();
+    let mut pair_rng = StdRng::seed_from_u64(seed ^ 0x9e7f);
+    let pairs = sample_pairs_from(&ids, &ids, queries, &mut pair_rng);
+    let t = Instant::now();
+    for &(u, v) in &pairs {
+        let out = simulate(g, scheme.as_ref(), u, v).expect("scheme routes its own graph");
+        debug_assert_eq!(out.destination(), v);
+    }
+    let route_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    Some(Row {
+        kind: "scheme".into(),
+        n: g.n(),
+        m: g.m(),
+        scheme: Some(key.to_string()),
+        ell: None,
+        build_ms,
+        reference_ms: None,
+        speedup: None,
+        identical: None,
+        queries: Some(pairs.len()),
+        route_ms: Some(route_ms),
+        queries_per_sec: Some(pairs.len() as f64 / (route_ms / 1e3).max(1e-9)),
+    })
+}
+
+fn print_row(r: &Row) {
+    match r.kind.as_str() {
+        "ball-kernel" => println!(
+            "{:>6} {:<12} {:>10.0} {:>10.0} {:>7.2}x {:>9}",
+            r.n,
+            format!("balls(l={})", r.ell.unwrap_or(0)),
+            r.build_ms,
+            r.reference_ms.unwrap_or(0.0),
+            r.speedup.unwrap_or(0.0),
+            if r.identical == Some(true) { "yes" } else { "NO" },
+        ),
+        _ => println!(
+            "{:>6} {:<12} {:>10.0} {:>10.0} {:>8.0}/s",
+            r.n,
+            r.scheme.as_deref().unwrap_or("?"),
+            r.build_ms,
+            r.route_ms.unwrap_or(0.0),
+            r.queries_per_sec.unwrap_or(0.0),
+        ),
+    }
+}
+
+fn main() {
+    let registry = SchemeRegistry::with_defaults();
+    assert_meta_covers_registry(&registry);
+    let opts = parse_options(&registry);
+    // The whole baseline is single-threaded so the artefacts track the
+    // kernel, not the machine's core count.
+    routing_par::set_threads(1);
+    println!(
+        "perf baseline (family={}, eps={}, single-threaded, {} routed queries per scheme)",
+        opts.family.name(),
+        opts.epsilon,
+        opts.queries,
+    );
+    println!(
+        "{:>6} {:<12} {:>10} {:>10} {:>8} {:>9}",
+        "n", "what", "build-ms", "ref/route", "speedup", "identical"
+    );
+
+    let mut rows: Vec<Row> = Vec::new();
+    let mut failures = 0usize;
+    for &n in &opts.sizes {
+        let mut rng = StdRng::seed_from_u64(opts.seed);
+        let unweighted = opts.family.generate(n, WeightModel::Unit, &mut rng);
+        let weighted = opts.family.generate(n, WeightModel::Uniform { lo: 1, hi: 32 }, &mut rng);
+
+        let ell = if opts.ell == 0 { (n as f64).sqrt().ceil() as usize } else { opts.ell };
+        let kernel = measure_ball_kernel(&weighted, ell);
+        print_row(&kernel);
+        rows.push(kernel);
+
+        let ctx = BuildContext {
+            params: Params::with_epsilon(opts.epsilon),
+            seed: opts.seed ^ 0xb111d,
+            threads: 1,
+        };
+        for key in &opts.schemes {
+            let meta = scheme_meta(key).expect("--schemes entries are registered and covered");
+            let g = if meta.weighted { &weighted } else { &unweighted };
+            match measure_scheme(&registry, key, g, &ctx, opts.queries, opts.seed) {
+                Some(row) => {
+                    print_row(&row);
+                    rows.push(row);
+                }
+                None => failures += 1,
+            }
+        }
+    }
+
+    if failures > 0 {
+        eprintln!("ERROR: {failures} scheme build(s) failed");
+        std::process::exit(1);
+    }
+    if rows.iter().any(|r| r.identical == Some(false)) {
+        eprintln!("ERROR: flat ball table diverged from the reference build");
+        std::process::exit(1);
+    }
+    println!("\nall flat tables identical to their reference builds");
+
+    if let Some(path) = &opts.json {
+        match serde_json::to_string_pretty(&rows) {
+            Ok(json) => match std::fs::write(path, json) {
+                Ok(()) => println!("(wrote {path})"),
+                Err(e) => eprintln!("could not write {path}: {e}"),
+            },
+            Err(e) => eprintln!("could not serialize rows: {e}"),
+        }
+    }
+}

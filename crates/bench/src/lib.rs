@@ -31,6 +31,16 @@
 //! experiment index); the Criterion benches under `benches/` time
 //! preprocessing and per-hop routing decisions.
 //!
+//! # The `perf` binary
+//!
+//! The `perf` binary is the repo's **tracked performance baseline**: it
+//! times, single-threadedly, every selected scheme's build plus a fixed
+//! number of routed queries at a sweep of `n`, and the allocation-free
+//! ball-kernel build against the pre-refactor `HashMap` implementation
+//! (verifying the two tables bit-identical — CI fails on divergence). Its
+//! `--json` output is the `BENCH_<pr>.json` artefact format; `BENCH_5.json`
+//! at the repository root is the first committed point of that trajectory.
+//!
 //! # The `churn` binary
 //!
 //! Beyond the static Table 1 artefacts, the `churn` binary runs the

@@ -26,8 +26,7 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
-use routing_graph::shortest_path::dijkstra;
-use routing_graph::{Graph, VertexId, Weight};
+use routing_graph::{Graph, SearchScratch, VertexId, Weight};
 use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
 use routing_tree::{tree_route_step, TreeLabel, TreeScheme};
 use routing_vicinity::{all_clusters, bunches, sample_centers_bounded, BallTable, Coloring, Landmarks};
@@ -159,12 +158,16 @@ impl SchemeTwoPlusEps {
         .collect::<Result<_, _>>()?;
 
         // Global trees for every landmark (one full Dijkstra each, fanned
-        // out in parallel).
-        let built: Vec<Result<TreeScheme, BuildError>> =
-            routing_par::par_map(landmarks.members(), |&a| {
-                TreeScheme::from_spt(g, &dijkstra(g, a))
+        // out in parallel over per-worker search workspaces).
+        let built: Vec<Result<TreeScheme, BuildError>> = routing_par::par_map_scratch(
+            landmarks.len(),
+            || SearchScratch::for_graph(g),
+            |scratch, i| {
+                scratch.dijkstra_into(g, landmarks.members()[i]);
+                TreeScheme::from_scratch(g, scratch)
                     .map_err(|e| BuildError::TooSmall { what: e.to_string() })
-            });
+            },
+        );
         let mut global_trees = HashMap::with_capacity(landmarks.len());
         for (&a, tree) in landmarks.members().iter().zip(built) {
             global_trees.insert(a, tree?);

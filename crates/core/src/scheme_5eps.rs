@@ -143,22 +143,27 @@ impl SchemeFivePlusEps {
         .collect::<Result<_, _>>()?;
 
         // First edge (p_A(v), z) of a shortest path from the landmark to v.
-        // One Dijkstra per landmark, in parallel; each landmark only claims
-        // the vertices it is the nearest landmark of, so the merged writes
-        // are disjoint and order-independent.
-        let per_landmark: Vec<Vec<(VertexId, (VertexId, Port))>> =
-            routing_par::par_map(landmarks.members(), |&a| {
-                let spt = routing_graph::shortest_path::dijkstra(g, a);
+        // One Dijkstra per landmark, in parallel over per-worker search
+        // workspaces; each landmark only claims the vertices it is the
+        // nearest landmark of, so the merged writes are disjoint and
+        // order-independent.
+        let per_landmark: Vec<Vec<(VertexId, (VertexId, Port))>> = routing_par::par_map_scratch(
+            landmarks.len(),
+            || routing_graph::SearchScratch::for_graph(g),
+            |scratch, i| {
+                let a = landmarks.members()[i];
+                scratch.dijkstra_into(g, a);
                 g.vertices()
                     .filter(|&v| landmarks.nearest(v) == Some(a) && v != a)
                     .filter_map(|v| {
-                        spt.first_hop(v).map(|z| {
+                        scratch.first_hop(v).map(|z| {
                             let port = g.port_to(a, z).expect("first hop is a neighbour");
                             (v, (z, port))
                         })
                     })
                     .collect()
-            });
+            },
+        );
         let mut first_edge: Vec<Option<(VertexId, Port)>> = vec![None; n];
         for (v, edge) in per_landmark.into_iter().flatten() {
             first_edge[v.index()] = Some(edge);

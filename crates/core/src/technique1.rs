@@ -20,8 +20,7 @@ use std::collections::{HashMap, HashSet};
 
 use rand::Rng;
 
-use routing_graph::shortest_path::dijkstra;
-use routing_graph::{Graph, VertexId, Weight};
+use routing_graph::{Graph, SearchScratch, VertexId, Weight};
 use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
 use routing_tree::{tree_route_step, TreeLabel, TreeScheme};
 use routing_vicinity::{hitting_set_greedy, hitting_set_random, BallTable};
@@ -120,13 +119,16 @@ impl Technique1Router {
 
         // Global shortest-path trees for the hitting set: one full Dijkstra
         // plus a heavy-path decomposition per hitting-set vertex, all
-        // independent — fan them out.
-        let built_trees: Vec<Result<TreeScheme, BuildError>> =
-            routing_par::par_map(&hitting, |&w| {
-                let spt = dijkstra(g, w);
-                TreeScheme::from_spt(g, &spt)
+        // independent — fan them out, one reused search workspace per worker.
+        let built_trees: Vec<Result<TreeScheme, BuildError>> = routing_par::par_map_scratch(
+            hitting.len(),
+            || SearchScratch::for_graph(g),
+            |scratch, i| {
+                scratch.dijkstra_into(g, hitting[i]);
+                TreeScheme::from_scratch(g, scratch)
                     .map_err(|e| BuildError::TooSmall { what: e.to_string() })
-            });
+            },
+        );
         let mut trees = HashMap::with_capacity(hitting.len());
         for (&w, tree) in hitting.iter().zip(built_trees) {
             trees.insert(w, tree?);
@@ -153,17 +155,21 @@ impl Technique1Router {
             }
         }
         sources.sort_unstable_by_key(|&(u, _)| u);
-        let per_source: Vec<Vec<(VertexId, StoredSeq)>> =
-            routing_par::par_map(&sources, |&(u, members)| {
-                let spt = dijkstra(g, u);
+        let per_source: Vec<Vec<(VertexId, StoredSeq)>> = routing_par::par_map_scratch(
+            sources.len(),
+            || SearchScratch::for_graph(g),
+            |scratch, i| {
+                let (u, members) = sources[i];
+                scratch.dijkstra_into(g, u);
                 members
                     .iter()
                     .filter(|&&v| v != u)
                     .map(|&v| {
-                        (v, build_sequence(g, balls, &spt, u, v, b, &hitting_lookup, &trees))
+                        (v, build_sequence(g, balls, scratch, u, v, b, &hitting_lookup, &trees))
                     })
                     .collect()
-            });
+            },
+        );
         let mut seqs = HashMap::new();
         let mut seq_words = vec![0usize; g.n()];
         for (&(u, _), stored_list) in sources.iter().zip(per_source) {
@@ -311,12 +317,13 @@ impl Technique1Router {
     }
 }
 
-/// Computes the Lemma 7 sequence stored at `u` for `v`.
+/// Computes the Lemma 7 sequence stored at `u` for `v`. `spt_u` holds the
+/// result of a full Dijkstra from `u` (`dijkstra_into`).
 #[allow(clippy::too_many_arguments)]
 fn build_sequence(
     g: &Graph,
     balls: &BallTable,
-    spt_u: &routing_graph::shortest_path::ShortestPathTree,
+    spt_u: &SearchScratch,
     _u: VertexId,
     v: VertexId,
     b: usize,

@@ -21,8 +21,7 @@
 
 use std::collections::HashMap;
 
-use routing_graph::shortest_path::dijkstra;
-use routing_graph::{Graph, VertexId, Weight};
+use routing_graph::{Graph, SearchScratch, VertexId, Weight};
 use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
 use routing_vicinity::BallTable;
 
@@ -110,19 +109,23 @@ impl Technique2Router {
                 work.push((j as u32, w, sources.as_slice()));
             }
         }
-        let per_dest: Vec<Vec<(VertexId, Vec<SeqEntry>)>> =
-            routing_par::par_map(&work, |&(j, w, sources)| {
-                let spt_w = dijkstra(g, w);
+        let per_dest: Vec<Vec<(VertexId, Vec<SeqEntry>)>> = routing_par::par_map_scratch(
+            work.len(),
+            || SearchScratch::for_graph(g),
+            |scratch, i| {
+                let (j, w, sources) = work[i];
+                scratch.dijkstra_into(g, w);
                 sources
                     .iter()
                     .filter(|&&u| u != w)
                     .map(|&u| {
-                        let mut path = spt_w.path_to(u).expect("graph is connected");
+                        let mut path = scratch.path_to(u).expect("graph is connected");
                         path.reverse(); // now u -> w
-                        (u, build_t2_sequence(g, balls, &spt_w, &path, w, j, &color_of, b))
+                        (u, build_t2_sequence(g, balls, scratch, &path, w, j, &color_of, b))
                     })
                     .collect()
-            });
+            },
+        );
         let mut seqs = HashMap::new();
         let mut seq_words = vec![0usize; g.n()];
         for (&(_, w, _), entries_list) in work.iter().zip(per_dest) {
@@ -248,7 +251,7 @@ impl Technique2Router {
 fn build_t2_sequence(
     g: &Graph,
     balls: &BallTable,
-    spt_w: &routing_graph::shortest_path::ShortestPathTree,
+    spt_w: &SearchScratch,
     path: &[VertexId],
     w: VertexId,
     j: u32,

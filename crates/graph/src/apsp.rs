@@ -15,7 +15,7 @@
 //! Evaluation code should accept `&impl DistanceOracle` so both backends
 //! plug in.
 
-use crate::shortest_path::dijkstra;
+use crate::scratch::SearchScratch;
 use crate::{Graph, VertexId, Weight, INFINITY};
 
 /// Exact pairwise distances, by whatever backing strategy.
@@ -52,12 +52,18 @@ pub struct DistanceMatrix {
 impl DistanceMatrix {
     /// Computes exact distances between every pair of vertices with one
     /// Dijkstra per source, fanned out over [`routing_par::threads`] threads.
+    /// Each worker reuses one [`SearchScratch`] workspace across all its
+    /// sources, so the only per-source allocation is the output row itself.
     pub fn new(g: &Graph) -> Self {
         let n = g.n();
-        let rows: Vec<Vec<Weight>> = routing_par::par_map_index(n, |u| {
-            let sp = dijkstra(g, VertexId(u as u32));
-            g.vertices().map(|v| sp.dist(v).unwrap_or(INFINITY)).collect()
-        });
+        let rows: Vec<Vec<Weight>> = routing_par::par_map_scratch(
+            n,
+            || SearchScratch::for_graph(g),
+            |scratch, u| {
+                scratch.dijkstra_into(g, VertexId(u as u32));
+                scratch.dist_row(n)
+            },
+        );
         let mut dist = Vec::with_capacity(n * n);
         for row in rows {
             dist.extend(row);
@@ -114,6 +120,7 @@ impl DistanceOracle for DistanceMatrix {
 mod tests {
     use super::*;
     use crate::generators;
+    use crate::shortest_path::dijkstra;
     use crate::GraphBuilder;
 
     #[test]

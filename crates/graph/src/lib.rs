@@ -6,9 +6,18 @@
 //! * [`Graph`] — an undirected graph in CSR form with **fixed port numbers**
 //!   (the position of a neighbour in a vertex's adjacency list is its port, as
 //!   required by the fixed-port routing model of Fraigniaud and Gavoille).
+//! * [`scratch`] — the allocation-free search kernel: a reusable
+//!   [`SearchScratch`] workspace (epoch-stamped arrays + preallocated heap)
+//!   that runs full, bounded (ball), multi-source and restricted searches
+//!   with zero per-call allocation. Every preprocessing hot path holds one
+//!   per worker thread.
 //! * [`shortest_path`] — Dijkstra/BFS with the paper's lexicographic
 //!   tie-breaking, ball (k-nearest) searches, multi-source searches and
-//!   shortest-path trees.
+//!   shortest-path trees; the free functions are thin fresh-workspace
+//!   wrappers over the kernel.
+//! * [`mod@reference`] — the pre-refactor allocating implementations, kept
+//!   as bit-identity baselines for the equivalence tests and the `perf`
+//!   harness binary.
 //! * [`generators`] — seeded synthetic graph families used by the experiment
 //!   harness (the paper is evaluated on "any undirected graph"; generators
 //!   stand in for the absence of a dataset).
@@ -54,11 +63,14 @@ mod error;
 pub mod generators;
 mod graph;
 pub mod mutate;
+pub mod reference;
 pub mod sampled;
+pub mod scratch;
 pub mod shortest_path;
 
 pub use apsp::DistanceOracle;
 pub use error::GraphError;
+pub use scratch::SearchScratch;
 pub use graph::{EdgeRef, Graph, GraphBuilder, Port, VertexId, Weight, INFINITY};
 pub use mutate::{ChurnEvent, Mutation, MutationError, MutationStats};
 pub use sampled::SampledDistances;

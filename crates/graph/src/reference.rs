@@ -1,0 +1,232 @@
+//! Pre-refactor search implementations, kept as equivalence baselines.
+//!
+//! The allocation-free kernel ([`crate::scratch::SearchScratch`]) replaced
+//! the per-call `HashMap`/`Vec` searches this crate originally shipped. The
+//! originals live on here, verbatim, for two purposes:
+//!
+//! * the equivalence property tests (`tests/properties.rs`) assert the new
+//!   kernel is **bit-identical** to them — same distances, parents, first
+//!   hops, member order and radii — on random graphs;
+//! * the `perf` harness binary times the new kernel **against** them, so the
+//!   claimed speedups are measured, not asserted.
+//!
+//! Nothing else should call these: they allocate three `HashMap`s per ball
+//! or cluster search and four `O(n)` vectors per Dijkstra run.
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+
+use crate::shortest_path::{Ball, MultiSourceShortestPaths, RestrictedTree, ShortestPathTree};
+use crate::{Graph, VertexId, Weight, INFINITY};
+
+/// The original per-call-allocating Dijkstra (four `O(n)` vectors and a
+/// fresh heap per run). Bit-equal to [`crate::shortest_path::dijkstra`].
+pub fn dijkstra_alloc(g: &Graph, source: VertexId) -> ShortestPathTree {
+    let n = g.n();
+    let mut dist = vec![INFINITY; n];
+    let mut parent: Vec<Option<VertexId>> = vec![None; n];
+    let mut first_hop: Vec<Option<VertexId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
+
+    dist[source.index()] = 0;
+    heap.push(Reverse((0, source)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if settled[u.index()] {
+            continue;
+        }
+        settled[u.index()] = true;
+        for e in g.edges(u) {
+            let nd = d + e.weight;
+            if nd < dist[e.to.index()] {
+                dist[e.to.index()] = nd;
+                parent[e.to.index()] = Some(u);
+                first_hop[e.to.index()] =
+                    if u == source { Some(e.to) } else { first_hop[u.index()] };
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    ShortestPathTree::from_parts(source, dist, parent, first_hop)
+}
+
+/// The original `HashMap`-backed ball search. Bit-equal to
+/// [`crate::shortest_path::ball`].
+pub fn ball_hashmap(g: &Graph, u: VertexId, ell: usize) -> Ball {
+    let ell = ell.max(1);
+    let n = g.n();
+    let mut dist: HashMap<VertexId, Weight> = HashMap::new();
+    let mut first_hop: HashMap<VertexId, Option<VertexId>> = HashMap::new();
+    let mut settled: HashMap<VertexId, bool> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
+
+    dist.insert(u, 0);
+    first_hop.insert(u, None);
+    heap.push(Reverse((0, u)));
+
+    let mut members: Vec<(VertexId, Weight)> = Vec::with_capacity(ell.min(n));
+    let mut first_hops: Vec<Option<VertexId>> = Vec::with_capacity(ell.min(n));
+    let mut overflow_at_max = false;
+    let mut max_dist: Weight = 0;
+
+    while let Some(Reverse((d, v))) = heap.pop() {
+        if *settled.get(&v).unwrap_or(&false) {
+            continue;
+        }
+        settled.insert(v, true);
+        if members.len() < ell {
+            members.push((v, d));
+            first_hops.push(first_hop[&v]);
+            max_dist = d;
+        } else if d == max_dist {
+            overflow_at_max = true;
+            break;
+        } else {
+            break;
+        }
+        for e in g.edges(v) {
+            let nd = d + e.weight;
+            let better = match dist.get(&e.to) {
+                Some(&old) => nd < old,
+                None => true,
+            };
+            if better {
+                dist.insert(e.to, nd);
+                let fh = if v == u { Some(e.to) } else { first_hop[&v] };
+                first_hop.insert(e.to, fh);
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+
+    let radius = if overflow_at_max {
+        members
+            .iter()
+            .rev()
+            .map(|&(_, d)| d)
+            .find(|&d| d < max_dist)
+            .unwrap_or(0)
+    } else {
+        max_dist
+    };
+    Ball::from_parts(u, members, first_hops, radius)
+}
+
+/// The original multi-source Dijkstra. Bit-equal to
+/// [`crate::shortest_path::multi_source_dijkstra`].
+pub fn multi_source_alloc(g: &Graph, sources: &[VertexId]) -> MultiSourceShortestPaths {
+    let n = g.n();
+    let mut dist = vec![INFINITY; n];
+    let mut nearest: Vec<Option<VertexId>> = vec![None; n];
+    let mut settled = vec![false; n];
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexId, VertexId)>> = BinaryHeap::new();
+
+    let mut sorted_sources: Vec<VertexId> = sources.to_vec();
+    sorted_sources.sort_unstable();
+    sorted_sources.dedup();
+    for &s in &sorted_sources {
+        dist[s.index()] = 0;
+        nearest[s.index()] = Some(s);
+        heap.push(Reverse((0, s, s)));
+    }
+    while let Some(Reverse((d, src, u))) = heap.pop() {
+        if settled[u.index()] {
+            continue;
+        }
+        if nearest[u.index()] != Some(src) || dist[u.index()] != d {
+            continue;
+        }
+        settled[u.index()] = true;
+        for e in g.edges(u) {
+            let nd = d + e.weight;
+            let better = nd < dist[e.to.index()]
+                || (nd == dist[e.to.index()] && Some(src) < nearest[e.to.index()]);
+            if !settled[e.to.index()] && better {
+                dist[e.to.index()] = nd;
+                nearest[e.to.index()] = Some(src);
+                heap.push(Reverse((nd, src, e.to)));
+            }
+        }
+    }
+    MultiSourceShortestPaths::from_parts(dist, nearest)
+}
+
+/// The original `HashMap`-backed restricted (cluster) search. Bit-equal to
+/// [`crate::shortest_path::cluster_dijkstra`].
+pub fn cluster_dijkstra_hashmap(g: &Graph, w: VertexId, bound: &[Weight]) -> RestrictedTree {
+    assert_eq!(bound.len(), g.n(), "bound slice must have one entry per vertex");
+    let mut dist: HashMap<VertexId, Weight> = HashMap::new();
+    let mut parent: HashMap<VertexId, Option<VertexId>> = HashMap::new();
+    let mut settled: HashMap<VertexId, bool> = HashMap::new();
+    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
+    let mut members = Vec::new();
+
+    dist.insert(w, 0);
+    parent.insert(w, None);
+    heap.push(Reverse((0, w)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if *settled.get(&u).unwrap_or(&false) {
+            continue;
+        }
+        settled.insert(u, true);
+        members.push((u, d));
+        for e in g.edges(u) {
+            let nd = d + e.weight;
+            if e.to != w && nd >= bound[e.to.index()] {
+                continue;
+            }
+            let better = match dist.get(&e.to) {
+                Some(&old) => nd < old,
+                None => true,
+            };
+            if better {
+                dist.insert(e.to, nd);
+                parent.insert(e.to, Some(u));
+                heap.push(Reverse((nd, e.to)));
+            }
+        }
+    }
+    parent.retain(|v, _| *settled.get(v).unwrap_or(&false));
+    RestrictedTree::from_parts(w, members, parent)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::shortest_path::{ball, cluster_dijkstra, dijkstra, multi_source_dijkstra};
+
+    // The real equivalence coverage lives in tests/properties.rs; this is a
+    // smoke check that the reference entry points stay callable and aligned.
+    #[test]
+    fn reference_implementations_agree_with_the_kernel() {
+        let g = generators::grid(6, 6);
+        let sp = dijkstra(&g, VertexId(0));
+        let sp_ref = dijkstra_alloc(&g, VertexId(0));
+        for v in g.vertices() {
+            assert_eq!(sp.dist(v), sp_ref.dist(v));
+            assert_eq!(sp.parent(v), sp_ref.parent(v));
+        }
+
+        let b = ball(&g, VertexId(14), 7);
+        let b_ref = ball_hashmap(&g, VertexId(14), 7);
+        assert_eq!(b.members(), b_ref.members());
+        assert_eq!(b.radius(), b_ref.radius());
+
+        let sources = [VertexId(0), VertexId(35)];
+        let ms = multi_source_dijkstra(&g, &sources);
+        let ms_ref = multi_source_alloc(&g, &sources);
+        let bound: Vec<Weight> = g.vertices().map(|v| ms.dist(v).unwrap()).collect();
+        for v in g.vertices() {
+            assert_eq!(ms.dist(v), ms_ref.dist(v));
+            assert_eq!(ms.nearest(v), ms_ref.nearest(v));
+        }
+
+        let t = cluster_dijkstra(&g, VertexId(3), &bound);
+        let t_ref = cluster_dijkstra_hashmap(&g, VertexId(3), &bound);
+        assert_eq!(t.members(), t_ref.members());
+        for &(v, _) in t.members() {
+            assert_eq!(t.parent(v), t_ref.parent(v));
+        }
+    }
+}

@@ -23,7 +23,7 @@ use rand::seq::SliceRandom;
 use rand::Rng;
 
 use crate::apsp::DistanceOracle;
-use crate::shortest_path::dijkstra;
+use crate::scratch::SearchScratch;
 use crate::{Graph, VertexId, Weight, INFINITY};
 
 /// Upper bound on rows kept by the on-demand cache, so that a caller that
@@ -63,7 +63,14 @@ impl SampledDistances {
         for (i, &s) in sources.iter().enumerate() {
             row_of[s.index()] = Some(i as u32);
         }
-        let rows = routing_par::par_map(&sources, |&s| compute_row(g, s));
+        let rows = routing_par::par_map_scratch(
+            sources.len(),
+            || SearchScratch::for_graph(g),
+            |scratch, i| {
+                scratch.dijkstra_into(g, sources[i]);
+                scratch.dist_row(g.n())
+            },
+        );
         SampledDistances {
             graph: g.clone(),
             sources,
@@ -173,8 +180,9 @@ fn finite(d: Weight) -> Option<Weight> {
 }
 
 fn compute_row(g: &Graph, s: VertexId) -> Vec<Weight> {
-    let sp = dijkstra(g, s);
-    g.vertices().map(|v| sp.dist(v).unwrap_or(INFINITY)).collect()
+    let mut scratch = SearchScratch::for_graph(g);
+    scratch.dijkstra_into(g, s);
+    scratch.dist_row(g.n())
 }
 
 #[cfg(test)]

@@ -1,0 +1,637 @@
+//! The allocation-free search kernel: a reusable [`SearchScratch`] workspace
+//! that runs every flavour of shortest-path search the schemes need without
+//! allocating per call.
+//!
+//! # Why
+//!
+//! Preprocessing in this workspace is thousands of independent graph
+//! searches: one Dijkstra per source in
+//! [`crate::apsp::DistanceMatrix::new`], one bounded ball search per vertex
+//! in `BallTable::build`, one restricted cluster search per vertex in the
+//! Thorup–Zwick hierarchy. The original entry points in [`crate::shortest_path`]
+//! allocate their working state per call — four `O(n)` vectors for a full
+//! Dijkstra, three `HashMap`s for a ball or cluster search — which makes the
+//! allocator, not the graph, the bottleneck once `n` reaches 10⁴.
+//!
+//! A [`SearchScratch`] is allocated **once** (per worker thread — see
+//! `routing_par::par_map_scratch`) and reused across searches:
+//!
+//! * per-vertex state (`dist`, `parent`, `first_hop`, `settled`) lives in
+//!   flat arrays whose validity is tracked by an **epoch stamp**: each
+//!   search bumps a 64-bit epoch and a slot is live only when its stamp
+//!   equals the current epoch, so "resetting" the workspace is a single
+//!   integer increment, `O(1)` regardless of how little of the graph the
+//!   previous search touched;
+//! * the binary heap is kept allocated between searches (`clear()` keeps
+//!   capacity);
+//! * the settle order (the `(distance, id)`-sorted vertex sequence every
+//!   bounded search is defined by) is recorded in a reusable buffer.
+//!
+//! Every search method is **bit-identical** to its allocating counterpart in
+//! [`crate::shortest_path`] — same lexicographic `(distance, id)`
+//! tie-breaking, same member order, same radius rule — which the equivalence
+//! property tests in `tests/properties.rs` assert against the pre-refactor
+//! implementations kept in [`crate::reference`].
+//!
+//! # Example
+//!
+//! ```
+//! use routing_graph::scratch::SearchScratch;
+//! use routing_graph::{generators, VertexId};
+//!
+//! let g = generators::grid(8, 8);
+//! let mut scratch = SearchScratch::for_graph(&g);
+//! // Two searches, one workspace, no per-call allocation.
+//! scratch.dijkstra_into(&g, VertexId(0));
+//! assert_eq!(scratch.dist(VertexId(63)), Some(14));
+//! scratch.dijkstra_into(&g, VertexId(63));
+//! assert_eq!(scratch.dist(VertexId(0)), Some(14));
+//! ```
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::{Graph, VertexId, Weight, INFINITY};
+
+/// Sentinel for "no parent / no first hop / no nearest source".
+const NONE: u32 = u32::MAX;
+
+/// Epoch value no search ever uses, so a fresh workspace (all stamps at
+/// this value, epoch at 0) reports nothing as reached or settled.
+const NEVER: u64 = u64::MAX;
+
+/// Which search the workspace ran last; accessors whose data only certain
+/// searches produce are gated on this, so a reused workspace can never hand
+/// out a stale value from an earlier search of a different kind.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum SearchKind {
+    /// No search has run yet.
+    Idle,
+    /// [`SearchScratch::dijkstra_into`] or [`SearchScratch::ball_into`]:
+    /// single origin, `parent` and `first_hop` populated.
+    SingleOrigin,
+    /// [`SearchScratch::multi_source_into`]: the `parent` slots hold the
+    /// nearest source, `first_hop` is not populated.
+    MultiSource,
+    /// [`SearchScratch::cluster_into`]: single origin, `parent` populated,
+    /// `first_hop` not populated.
+    Cluster,
+}
+
+/// A reusable, allocation-free workspace for graph searches.
+///
+/// See the [module docs](self) for the design; construct one per worker
+/// thread with [`SearchScratch::for_graph`] and run any sequence of
+/// [`dijkstra_into`](SearchScratch::dijkstra_into),
+/// [`ball_into`](SearchScratch::ball_into),
+/// [`multi_source_into`](SearchScratch::multi_source_into) and
+/// [`cluster_into`](SearchScratch::cluster_into) searches on it. Results are
+/// read through the accessors ([`dist`](SearchScratch::dist),
+/// [`parent`](SearchScratch::parent), [`first_hop`](SearchScratch::first_hop),
+/// [`order`](SearchScratch::order), …) and stay valid until the next
+/// `*_into` call.
+#[derive(Debug, Clone)]
+pub struct SearchScratch {
+    n: usize,
+    /// Current search epoch; a per-vertex slot is live iff its stamp matches.
+    epoch: u64,
+    /// Epoch stamp guarding `dist`/`parent`/`first_hop` per vertex.
+    stamp: Vec<u64>,
+    /// Epoch stamp marking settled (finalized) vertices.
+    settled: Vec<u64>,
+    dist: Vec<Weight>,
+    /// Parent in the search tree (`NONE` for roots); doubles as the nearest
+    /// source `p_A(v)` after a multi-source search.
+    parent: Vec<u32>,
+    first_hop: Vec<u32>,
+    /// Heap for single-origin searches, ordered by `(distance, id)`.
+    heap: BinaryHeap<Reverse<(Weight, VertexId)>>,
+    /// Heap for multi-source searches, ordered by `(distance, source, id)`.
+    heap_tagged: BinaryHeap<Reverse<(Weight, VertexId, VertexId)>>,
+    /// Vertices in settle order with their final distances.
+    order: Vec<(VertexId, Weight)>,
+    /// Source of the last single-origin search (for materialization).
+    source: VertexId,
+    /// Which search ran last (gates the kind-specific accessors).
+    kind: SearchKind,
+}
+
+impl SearchScratch {
+    /// A workspace for graphs with `n` vertices.
+    pub fn new(n: usize) -> Self {
+        SearchScratch {
+            n,
+            epoch: 0,
+            stamp: vec![NEVER; n],
+            settled: vec![NEVER; n],
+            dist: vec![0; n],
+            parent: vec![NONE; n],
+            first_hop: vec![NONE; n],
+            heap: BinaryHeap::with_capacity(n.min(1 << 16)),
+            heap_tagged: BinaryHeap::new(),
+            order: Vec::with_capacity(n.min(1 << 16)),
+            source: VertexId(0),
+            kind: SearchKind::Idle,
+        }
+    }
+
+    /// A workspace sized for `g`.
+    pub fn for_graph(g: &Graph) -> Self {
+        Self::new(g.n())
+    }
+
+    /// Number of vertices the workspace covers.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Starts a new search: bumps the epoch (the `O(1)` reset) and clears
+    /// the reusable buffers, keeping their capacity.
+    fn begin(&mut self) {
+        self.epoch += 1;
+        self.heap.clear();
+        self.heap_tagged.clear();
+        self.order.clear();
+    }
+
+    #[inline]
+    fn relax(&mut self, to: usize, nd: Weight) -> bool {
+        if self.stamp[to] != self.epoch {
+            self.stamp[to] = self.epoch;
+            self.dist[to] = nd;
+            true
+        } else if nd < self.dist[to] {
+            self.dist[to] = nd;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Runs a full Dijkstra from `source` with `(distance, id)` tie-breaking,
+    /// bit-identical to [`crate::shortest_path::dijkstra`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has more vertices than the workspace.
+    pub fn dijkstra_into(&mut self, g: &Graph, source: VertexId) {
+        assert!(g.n() <= self.n, "graph larger than the workspace");
+        self.begin();
+        self.kind = SearchKind::SingleOrigin;
+        self.source = source;
+        let s = source.index();
+        self.stamp[s] = self.epoch;
+        self.dist[s] = 0;
+        self.parent[s] = NONE;
+        self.first_hop[s] = NONE;
+        self.heap.push(Reverse((0, source)));
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            let ui = u.index();
+            if self.settled[ui] == self.epoch {
+                continue;
+            }
+            self.settled[ui] = self.epoch;
+            self.order.push((u, d));
+            for e in g.edges(u) {
+                let to = e.to.index();
+                let nd = d + e.weight;
+                if self.relax(to, nd) {
+                    self.parent[to] = u.0;
+                    self.first_hop[to] =
+                        if u == source { e.to.0 } else { self.first_hop[ui] };
+                    self.heap.push(Reverse((nd, e.to)));
+                }
+            }
+        }
+    }
+
+    /// Runs the bounded ball search `B(u, ℓ)`: Dijkstra from `u` that stops
+    /// as soon as `ℓ` vertices are settled (or the component is exhausted),
+    /// so it never pays more than the ball costs. Members (with distances, in
+    /// `(distance, id)` settle order) are available as [`order`](Self::order)
+    /// afterwards; the returned value is the ball radius `r_u(ℓ)`.
+    ///
+    /// Bit-identical to [`crate::shortest_path::ball`] (kept as
+    /// [`crate::reference::ball_hashmap`] for the equivalence tests).
+    pub fn ball_into(&mut self, g: &Graph, u: VertexId, ell: usize) -> Weight {
+        assert!(g.n() <= self.n, "graph larger than the workspace");
+        let ell = ell.max(1);
+        self.begin();
+        self.kind = SearchKind::SingleOrigin;
+        self.source = u;
+        let s = u.index();
+        self.stamp[s] = self.epoch;
+        self.dist[s] = 0;
+        self.parent[s] = NONE;
+        self.first_hop[s] = NONE;
+        self.heap.push(Reverse((0, u)));
+
+        // Vertices settled after the ball is full, at the same distance as
+        // the last member, make the top distance level incomplete.
+        let mut overflow_at_max = false;
+        let mut max_dist: Weight = 0;
+        while let Some(Reverse((d, v))) = self.heap.pop() {
+            let vi = v.index();
+            if self.settled[vi] == self.epoch {
+                continue;
+            }
+            self.settled[vi] = self.epoch;
+            if self.order.len() < ell {
+                self.order.push((v, d));
+                max_dist = d;
+            } else if d == max_dist {
+                overflow_at_max = true;
+                break;
+            } else {
+                break;
+            }
+            for e in g.edges(v) {
+                let to = e.to.index();
+                let nd = d + e.weight;
+                if self.relax(to, nd) {
+                    self.parent[to] = v.0;
+                    self.first_hop[to] = if v == u { e.to.0 } else { self.first_hop[vi] };
+                    self.heap.push(Reverse((nd, e.to)));
+                }
+            }
+        }
+
+        if overflow_at_max {
+            // Not every vertex at distance `max_dist` made it into the ball;
+            // the radius is the previous distinct distance value present.
+            self.order
+                .iter()
+                .rev()
+                .map(|&(_, d)| d)
+                .find(|&d| d < max_dist)
+                .unwrap_or(0)
+        } else {
+            max_dist
+        }
+    }
+
+    /// Runs a multi-source Dijkstra from `sources`, computing `d(v, A)` and
+    /// the nearest source `p_A(v)` (readable as [`nearest`](Self::nearest))
+    /// with ties broken by source id.
+    ///
+    /// `sources` must be sorted by id and deduplicated (the
+    /// [`crate::shortest_path::multi_source_dijkstra`] wrapper normalizes
+    /// arbitrary input). Bit-identical to that wrapper.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if `sources` is not sorted and deduplicated.
+    pub fn multi_source_into(&mut self, g: &Graph, sources: &[VertexId]) {
+        assert!(g.n() <= self.n, "graph larger than the workspace");
+        debug_assert!(sources.windows(2).all(|w| w[0] < w[1]), "sources must be sorted+deduped");
+        self.begin();
+        self.kind = SearchKind::MultiSource;
+        for &s in sources {
+            let si = s.index();
+            self.stamp[si] = self.epoch;
+            self.dist[si] = 0;
+            self.parent[si] = s.0; // nearest source of a source is itself
+            self.heap_tagged.push(Reverse((0, s, s)));
+        }
+        while let Some(Reverse((d, src, u))) = self.heap_tagged.pop() {
+            let ui = u.index();
+            if self.settled[ui] == self.epoch {
+                continue;
+            }
+            // A stale entry may carry an outdated source; skip it.
+            if self.parent[ui] != src.0 || self.dist[ui] != d {
+                continue;
+            }
+            self.settled[ui] = self.epoch;
+            self.order.push((u, d));
+            for e in g.edges(u) {
+                let to = e.to.index();
+                if self.settled[to] == self.epoch {
+                    continue;
+                }
+                let nd = d + e.weight;
+                let better = if self.stamp[to] != self.epoch {
+                    true
+                } else {
+                    nd < self.dist[to] || (nd == self.dist[to] && src.0 < self.parent[to])
+                };
+                if better {
+                    self.stamp[to] = self.epoch;
+                    self.dist[to] = nd;
+                    self.parent[to] = src.0;
+                    self.heap_tagged.push(Reverse((nd, src, e.to)));
+                }
+            }
+        }
+    }
+
+    /// Runs the restricted (cluster) search from `w`: explores like Dijkstra
+    /// but keeps a vertex `v` only when `d(w, v) < bound[v]`. Members in
+    /// settle order are available as [`order`](Self::order); parents via
+    /// [`parent`](Self::parent) (valid for settled members only).
+    ///
+    /// Bit-identical to [`crate::shortest_path::cluster_dijkstra`] (kept as
+    /// [`crate::reference::cluster_dijkstra_hashmap`]).
+    pub fn cluster_into(&mut self, g: &Graph, w: VertexId, bound: &[Weight]) {
+        assert!(g.n() <= self.n, "graph larger than the workspace");
+        assert_eq!(bound.len(), g.n(), "bound slice must have one entry per vertex");
+        self.begin();
+        self.kind = SearchKind::Cluster;
+        self.source = w;
+        let s = w.index();
+        self.stamp[s] = self.epoch;
+        self.dist[s] = 0;
+        self.parent[s] = NONE;
+        self.heap.push(Reverse((0, w)));
+        while let Some(Reverse((d, u))) = self.heap.pop() {
+            let ui = u.index();
+            if self.settled[ui] == self.epoch {
+                continue;
+            }
+            self.settled[ui] = self.epoch;
+            self.order.push((u, d));
+            for e in g.edges(u) {
+                let to = e.to.index();
+                let nd = d + e.weight;
+                // Keep the vertex only if it belongs to the cluster (the
+                // root is always kept).
+                if e.to != w && nd >= bound[to] {
+                    continue;
+                }
+                if self.relax(to, nd) {
+                    self.parent[to] = u.0;
+                    self.heap.push(Reverse((nd, e.to)));
+                }
+            }
+        }
+    }
+
+    /// Distance found by the last search, or `None` if `v` was not reached.
+    ///
+    /// After a bounded ([`ball_into`](Self::ball_into)) or restricted
+    /// ([`cluster_into`](Self::cluster_into)) search this is only final for
+    /// settled vertices — use [`order`](Self::order) for the member set.
+    #[inline]
+    pub fn dist(&self, v: VertexId) -> Option<Weight> {
+        (self.stamp[v.index()] == self.epoch).then(|| self.dist[v.index()])
+    }
+
+    /// True if the last search settled (finalized) `v`.
+    #[inline]
+    pub fn is_settled(&self, v: VertexId) -> bool {
+        self.settled[v.index()] == self.epoch
+    }
+
+    /// Parent of `v` in the last search tree (`None` for the root and for
+    /// unreached vertices).
+    ///
+    /// # Panics
+    ///
+    /// Panics after a [`multi_source_into`](Self::multi_source_into) search,
+    /// whose slots hold nearest sources, not parents — use
+    /// [`nearest`](Self::nearest) there.
+    #[inline]
+    pub fn parent(&self, v: VertexId) -> Option<VertexId> {
+        assert!(
+            self.kind != SearchKind::MultiSource,
+            "parent() after a multi-source search; use nearest()"
+        );
+        if self.stamp[v.index()] != self.epoch || self.parent[v.index()] == NONE {
+            return None;
+        }
+        Some(VertexId(self.parent[v.index()]))
+    }
+
+    /// First vertex after the source on the path to `v` found by the last
+    /// full or bounded single-origin search (`None` for the source and
+    /// unreached vertices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last search was not [`dijkstra_into`](Self::dijkstra_into)
+    /// or [`ball_into`](Self::ball_into) — multi-source and cluster searches
+    /// do not record first hops, so a leftover value from an earlier search
+    /// must not leak through.
+    #[inline]
+    pub fn first_hop(&self, v: VertexId) -> Option<VertexId> {
+        assert!(
+            self.kind == SearchKind::SingleOrigin,
+            "first_hop() is only populated by dijkstra_into / ball_into"
+        );
+        if self.stamp[v.index()] != self.epoch || self.first_hop[v.index()] == NONE {
+            return None;
+        }
+        Some(VertexId(self.first_hop[v.index()]))
+    }
+
+    /// Nearest source `p_A(v)` after [`multi_source_into`](Self::multi_source_into)
+    /// (`None` for unreached vertices).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last search was not a multi-source one — the slots hold
+    /// parents then, not nearest sources.
+    #[inline]
+    pub fn nearest(&self, v: VertexId) -> Option<VertexId> {
+        assert!(
+            self.kind == SearchKind::MultiSource,
+            "nearest() is only populated by multi_source_into"
+        );
+        if self.stamp[v.index()] != self.epoch || self.parent[v.index()] == NONE {
+            return None;
+        }
+        Some(VertexId(self.parent[v.index()]))
+    }
+
+    /// Vertices settled by the last search, in `(distance, id)` settle order,
+    /// with their final distances. For a ball or cluster search this is
+    /// exactly the member list.
+    #[inline]
+    pub fn order(&self) -> &[(VertexId, Weight)] {
+        &self.order
+    }
+
+    /// The source of the last single-origin (full, bounded or restricted)
+    /// search.
+    ///
+    /// # Panics
+    ///
+    /// Panics before the first search and after a multi-source search
+    /// (which has no single source).
+    pub fn source(&self) -> VertexId {
+        assert!(
+            matches!(self.kind, SearchKind::SingleOrigin | SearchKind::Cluster),
+            "source() needs a preceding single-origin search"
+        );
+        self.source
+    }
+
+    /// The tree path from the last search's source to `v` (inclusive), or
+    /// `None` if `v` was not settled. Allocates exactly the returned path.
+    pub fn path_to(&self, v: VertexId) -> Option<Vec<VertexId>> {
+        if self.settled[v.index()] != self.epoch {
+            return None;
+        }
+        let mut len = 1usize;
+        let mut cur = v;
+        while let Some(p) = self.parent(cur) {
+            len += 1;
+            cur = p;
+        }
+        let mut path = vec![v; len];
+        let mut i = len - 1;
+        cur = v;
+        while let Some(p) = self.parent(cur) {
+            i -= 1;
+            path[i] = p;
+            cur = p;
+        }
+        Some(path)
+    }
+
+    /// Writes the full distance row of the last search into `out`
+    /// (`INFINITY` for unreached vertices). `out` must have one slot per
+    /// graph vertex.
+    pub fn write_dist_row(&self, out: &mut [Weight]) {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = if self.stamp[i] == self.epoch { self.dist[i] } else { INFINITY };
+        }
+    }
+
+    /// The full distance row of the last search as a fresh vector
+    /// (`INFINITY` for unreached vertices), sized like the graph searched.
+    pub fn dist_row(&self, n: usize) -> Vec<Weight> {
+        let mut row = vec![INFINITY; n];
+        self.write_dist_row(&mut row);
+        row
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+    use crate::shortest_path::{ball, cluster_dijkstra, dijkstra, multi_source_dijkstra};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn random_graph(seed: u64) -> Graph {
+        let mut rng = StdRng::seed_from_u64(seed);
+        generators::erdos_renyi(
+            80,
+            0.07,
+            generators::WeightModel::Uniform { lo: 1, hi: 9 },
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn dijkstra_into_matches_wrapper_across_reuses() {
+        let g = random_graph(3);
+        let mut s = SearchScratch::for_graph(&g);
+        for src in [0u32, 17, 42, 0, 79] {
+            let src = VertexId(src);
+            s.dijkstra_into(&g, src);
+            let sp = dijkstra(&g, src);
+            assert_eq!(s.source(), src);
+            for v in g.vertices() {
+                assert_eq!(s.dist(v), sp.dist(v), "dist {src}->{v}");
+                assert_eq!(s.parent(v), sp.parent(v), "parent {src}->{v}");
+                assert_eq!(s.first_hop(v), sp.first_hop(v), "hop {src}->{v}");
+                assert_eq!(s.path_to(v), sp.path_to(v), "path {src}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn ball_into_matches_ball_after_full_search() {
+        let g = random_graph(5);
+        let mut s = SearchScratch::for_graph(&g);
+        // Interleave with a full search to prove the epoch reset works.
+        s.dijkstra_into(&g, VertexId(0));
+        for (u, ell) in [(VertexId(7), 1), (VertexId(7), 9), (VertexId(30), 500)] {
+            let radius = s.ball_into(&g, u, ell);
+            let b = ball(&g, u, ell);
+            assert_eq!(radius, b.radius());
+            assert_eq!(s.order(), b.members());
+            for &(v, _) in s.order() {
+                assert_eq!(s.first_hop(v), b.first_hop(v));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_source_into_matches_wrapper() {
+        let g = random_graph(7);
+        let sources = vec![VertexId(2), VertexId(40), VertexId(71)];
+        let ms = multi_source_dijkstra(&g, &sources);
+        let mut s = SearchScratch::for_graph(&g);
+        s.multi_source_into(&g, &sources);
+        for v in g.vertices() {
+            assert_eq!(s.dist(v), ms.dist(v));
+            assert_eq!(s.nearest(v), ms.nearest(v));
+        }
+    }
+
+    #[test]
+    fn cluster_into_matches_wrapper() {
+        let g = random_graph(9);
+        let ms = multi_source_dijkstra(&g, &[VertexId(11), VertexId(60)]);
+        let bound: Vec<Weight> =
+            g.vertices().map(|v| ms.dist(v).unwrap_or(INFINITY)).collect();
+        let mut s = SearchScratch::for_graph(&g);
+        for w in [VertexId(0), VertexId(11), VertexId(55)] {
+            s.cluster_into(&g, w, &bound);
+            let tree = cluster_dijkstra(&g, w, &bound);
+            assert_eq!(s.order(), tree.members());
+            for &(v, _) in s.order() {
+                assert_eq!(Some(s.parent(v)), tree.parent(v));
+            }
+        }
+    }
+
+    #[test]
+    fn fresh_scratch_reports_nothing_reached() {
+        let s = SearchScratch::new(4);
+        for v in 0..4 {
+            assert_eq!(s.dist(VertexId(v)), None);
+            assert!(!s.is_settled(VertexId(v)));
+        }
+        assert!(s.order().is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "first_hop() is only populated")]
+    fn first_hop_after_cluster_search_panics() {
+        let g = generators::path(4);
+        let mut s = SearchScratch::for_graph(&g);
+        s.dijkstra_into(&g, VertexId(0));
+        let bound = vec![crate::INFINITY; 4];
+        s.cluster_into(&g, VertexId(0), &bound);
+        // The previous Dijkstra left first-hop data behind; the kind gate
+        // must refuse to serve it instead of returning it as current.
+        let _ = s.first_hop(VertexId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "nearest() is only populated")]
+    fn nearest_after_single_origin_search_panics() {
+        let g = generators::path(4);
+        let mut s = SearchScratch::for_graph(&g);
+        s.dijkstra_into(&g, VertexId(0));
+        let _ = s.nearest(VertexId(3));
+    }
+
+    #[test]
+    fn dist_row_marks_unreachable() {
+        let g = generators::path(3);
+        let mut s = SearchScratch::new(5);
+        s.dijkstra_into(&g, VertexId(0));
+        assert_eq!(s.dist_row(3), vec![0, 1, 2]);
+        let mut row = vec![0; 3];
+        s.write_dist_row(&mut row);
+        assert_eq!(row, vec![0, 1, 2]);
+        assert!(s.is_settled(VertexId(2)));
+        assert_eq!(s.n(), 5);
+    }
+}

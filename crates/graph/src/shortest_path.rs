@@ -7,10 +7,18 @@
 //! order of vertex names") and it is what makes Property 1 — if
 //! `v ∈ B(u, ℓ)` and `w` is on a shortest path between `u` and `v`, then
 //! `v ∈ B(w, ℓ)` — hold exactly rather than just in expectation.
+//!
+//! The free functions here ([`dijkstra`], [`ball`], [`multi_source_dijkstra`],
+//! [`cluster_dijkstra`]) are thin wrappers that allocate a fresh
+//! [`SearchScratch`] workspace per call and materialize an owned result —
+//! convenient for one-off searches and tests. Code that runs **many**
+//! searches (every preprocessing hot path) should hold one `SearchScratch`
+//! per worker thread and call its `*_into` methods instead; the results are
+//! bit-identical, only the allocator traffic differs.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
 
+use crate::scratch::SearchScratch;
 use crate::{Graph, VertexId, Weight, INFINITY};
 
 /// The result of a single-source shortest-path search: a shortest-path tree
@@ -24,6 +32,25 @@ pub struct ShortestPathTree {
 }
 
 impl ShortestPathTree {
+    pub(crate) fn from_parts(
+        source: VertexId,
+        dist: Vec<Weight>,
+        parent: Vec<Option<VertexId>>,
+        first_hop: Vec<Option<VertexId>>,
+    ) -> Self {
+        ShortestPathTree { source, dist, parent, first_hop }
+    }
+
+    /// Materializes the result of the last single-origin search run on
+    /// `scratch` (sized for a graph of `n` vertices) as an owned tree.
+    pub fn from_scratch(scratch: &SearchScratch, n: usize) -> Self {
+        let mut dist = vec![INFINITY; n];
+        scratch.write_dist_row(&mut dist);
+        let parent = (0..n as u32).map(|v| scratch.parent(VertexId(v))).collect();
+        let first_hop = (0..n as u32).map(|v| scratch.first_hop(VertexId(v))).collect();
+        ShortestPathTree { source: scratch.source(), dist, parent, first_hop }
+    }
+
     /// The source vertex of the search.
     pub fn source(&self) -> VertexId {
         self.source
@@ -54,27 +81,50 @@ impl ShortestPathTree {
         if self.dist[v.index()] == INFINITY {
             return None;
         }
-        let mut path = vec![v];
+        // Walk the parent chain once to size the path exactly, then fill it
+        // back to front — one allocation, no reverse.
+        let mut len = 1usize;
         let mut cur = v;
         while let Some(p) = self.parent[cur.index()] {
-            path.push(p);
+            len += 1;
             cur = p;
         }
-        path.reverse();
+        let mut path = vec![v; len];
+        let mut i = len - 1;
+        cur = v;
+        while let Some(p) = self.parent[cur.index()] {
+            i -= 1;
+            path[i] = p;
+            cur = p;
+        }
         Some(path)
     }
 
-    /// Children lists of the shortest-path tree, indexed by vertex.
+    /// Children lists of the shortest-path tree in compressed (CSR) form:
+    /// two flat arrays instead of one `Vec` per vertex.
     ///
     /// Unreachable vertices have empty child lists and are nobody's child.
-    pub fn children(&self) -> Vec<Vec<VertexId>> {
-        let mut children = vec![Vec::new(); self.dist.len()];
-        for v in 0..self.dist.len() as u32 {
-            if let Some(p) = self.parent[v as usize] {
-                children[p.index()].push(VertexId(v));
+    pub fn children(&self) -> TreeChildren {
+        let n = self.dist.len();
+        let mut offsets = vec![0u32; n + 1];
+        for v in 0..n {
+            if let Some(p) = self.parent[v] {
+                offsets[p.index() + 1] += 1;
             }
         }
-        children
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut list = vec![VertexId(0); offsets[n] as usize];
+        let mut cursor = offsets.clone();
+        // Ascending v keeps each child list sorted by id, as before.
+        for v in 0..n as u32 {
+            if let Some(p) = self.parent[v as usize] {
+                list[cursor[p.index()] as usize] = VertexId(v);
+                cursor[p.index()] += 1;
+            }
+        }
+        TreeChildren { offsets, list }
     }
 
     /// Iterator over every reachable vertex together with its distance.
@@ -87,33 +137,43 @@ impl ShortestPathTree {
     }
 }
 
-/// Runs Dijkstra's algorithm from `source` with `(distance, id)` tie-breaking.
-pub fn dijkstra(g: &Graph, source: VertexId) -> ShortestPathTree {
-    let n = g.n();
-    let mut dist = vec![INFINITY; n];
-    let mut parent: Vec<Option<VertexId>> = vec![None; n];
-    let mut first_hop: Vec<Option<VertexId>> = vec![None; n];
-    let mut settled = vec![false; n];
-    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
+/// Children lists of a tree, indexed by vertex, in compressed (CSR) form.
+///
+/// Built by [`ShortestPathTree::children`] with two counting passes over the
+/// parent array — no per-vertex `Vec` allocations.
+#[derive(Debug, Clone)]
+pub struct TreeChildren {
+    /// `offsets[v]..offsets[v+1]` indexes `list` for vertex `v`.
+    offsets: Vec<u32>,
+    /// Children, grouped by parent, each group sorted by child id.
+    list: Vec<VertexId>,
+}
 
-    dist[source.index()] = 0;
-    heap.push(Reverse((0, source)));
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if settled[u.index()] {
-            continue;
-        }
-        settled[u.index()] = true;
-        for e in g.edges(u) {
-            let nd = d + e.weight;
-            if nd < dist[e.to.index()] {
-                dist[e.to.index()] = nd;
-                parent[e.to.index()] = Some(u);
-                first_hop[e.to.index()] = if u == source { Some(e.to) } else { first_hop[u.index()] };
-                heap.push(Reverse((nd, e.to)));
-            }
-        }
+impl TreeChildren {
+    /// The children of `v`, sorted by id (empty for leaves).
+    pub fn of(&self, v: VertexId) -> &[VertexId] {
+        &self.list[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize]
     }
-    ShortestPathTree { source, dist, parent, first_hop }
+
+    /// Total number of child links (= number of non-root reachable vertices).
+    pub fn len(&self) -> usize {
+        self.list.len()
+    }
+
+    /// True when the tree has no child links at all.
+    pub fn is_empty(&self) -> bool {
+        self.list.is_empty()
+    }
+}
+
+/// Runs Dijkstra's algorithm from `source` with `(distance, id)` tie-breaking.
+///
+/// Allocates a fresh workspace per call; loops over many sources should use
+/// [`SearchScratch::dijkstra_into`] instead.
+pub fn dijkstra(g: &Graph, source: VertexId) -> ShortestPathTree {
+    let mut scratch = SearchScratch::for_graph(g);
+    scratch.dijkstra_into(g, source);
+    ShortestPathTree::from_scratch(&scratch, g.n())
 }
 
 /// Runs breadth-first search from `source` on an unweighted graph.
@@ -129,7 +189,7 @@ pub fn bfs(g: &Graph, source: VertexId) -> ShortestPathTree {
     let mut dist = vec![INFINITY; n];
     let mut parent: Vec<Option<VertexId>> = vec![None; n];
     let mut first_hop: Vec<Option<VertexId>> = vec![None; n];
-    let mut queue = std::collections::VecDeque::new();
+    let mut queue = std::collections::VecDeque::with_capacity(n);
     dist[source.index()] = 0;
     queue.push_back(source);
     while let Some(u) = queue.pop_front() {
@@ -163,6 +223,20 @@ pub struct Ball {
 }
 
 impl Ball {
+    pub(crate) fn from_parts(
+        center: VertexId,
+        members: Vec<(VertexId, Weight)>,
+        first_hops: Vec<Option<VertexId>>,
+        radius: Weight,
+    ) -> Self {
+        let index = members
+            .iter()
+            .enumerate()
+            .map(|(i, &(v, _))| (v, i))
+            .collect();
+        Ball { center, members, first_hops, index, radius }
+    }
+
     /// The center vertex `u`.
     pub fn center(&self) -> VertexId {
         self.center
@@ -233,73 +307,11 @@ impl Ball {
 /// If the connected component of `u` has fewer than `ℓ` vertices the whole
 /// component is returned.
 pub fn ball(g: &Graph, u: VertexId, ell: usize) -> Ball {
-    let ell = ell.max(1);
-    let n = g.n();
-    let mut dist: HashMap<VertexId, Weight> = HashMap::new();
-    let mut first_hop: HashMap<VertexId, Option<VertexId>> = HashMap::new();
-    let mut settled: HashMap<VertexId, bool> = HashMap::new();
-    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
-
-    dist.insert(u, 0);
-    first_hop.insert(u, None);
-    heap.push(Reverse((0, u)));
-
-    let mut members: Vec<(VertexId, Weight)> = Vec::with_capacity(ell.min(n));
-    let mut first_hops: Vec<Option<VertexId>> = Vec::with_capacity(ell.min(n));
-    // Vertices settled after the ball is full, at the same distance as the
-    // last member; used to decide whether the ball is "complete" at max_dist.
-    let mut overflow_at_max = false;
-    let mut max_dist: Weight = 0;
-
-    while let Some(Reverse((d, v))) = heap.pop() {
-        if *settled.get(&v).unwrap_or(&false) {
-            continue;
-        }
-        settled.insert(v, true);
-        if members.len() < ell {
-            members.push((v, d));
-            first_hops.push(first_hop[&v]);
-            max_dist = d;
-        } else if d == max_dist {
-            overflow_at_max = true;
-            break;
-        } else {
-            break;
-        }
-        for e in g.edges(v) {
-            let nd = d + e.weight;
-            let better = match dist.get(&e.to) {
-                Some(&old) => nd < old,
-                None => true,
-            };
-            if better {
-                dist.insert(e.to, nd);
-                let fh = if v == u { Some(e.to) } else { first_hop[&v] };
-                first_hop.insert(e.to, fh);
-                heap.push(Reverse((nd, e.to)));
-            }
-        }
-    }
-
-    let radius = if overflow_at_max {
-        // Not every vertex at distance `max_dist` made it into the ball; the
-        // radius is the previous distinct distance value present in the ball.
-        members
-            .iter()
-            .rev()
-            .map(|&(_, d)| d)
-            .find(|&d| d < max_dist)
-            .unwrap_or(0)
-    } else {
-        max_dist
-    };
-
-    let index = members
-        .iter()
-        .enumerate()
-        .map(|(i, &(v, _))| (v, i))
-        .collect();
-    Ball { center: u, members, first_hops, index, radius }
+    let mut scratch = SearchScratch::for_graph(g);
+    let radius = scratch.ball_into(g, u, ell);
+    let members = scratch.order().to_vec();
+    let first_hops = members.iter().map(|&(v, _)| scratch.first_hop(v)).collect();
+    Ball::from_parts(u, members, first_hops, radius)
 }
 
 /// Result of a multi-source shortest-path search from a set `A`.
@@ -313,6 +325,10 @@ pub struct MultiSourceShortestPaths {
 }
 
 impl MultiSourceShortestPaths {
+    pub(crate) fn from_parts(dist: Vec<Weight>, nearest: Vec<Option<VertexId>>) -> Self {
+        MultiSourceShortestPaths { dist, nearest }
+    }
+
     /// Distance from `v` to the nearest source, or `None` if unreachable or
     /// the source set was empty.
     pub fn dist(&self, v: VertexId) -> Option<Weight> {
@@ -337,42 +353,15 @@ impl MultiSourceShortestPaths {
 /// Ties between sources at equal distance are broken by source id.
 pub fn multi_source_dijkstra(g: &Graph, sources: &[VertexId]) -> MultiSourceShortestPaths {
     let n = g.n();
-    let mut dist = vec![INFINITY; n];
-    let mut nearest: Vec<Option<VertexId>> = vec![None; n];
-    let mut settled = vec![false; n];
-    // Order by (distance, source id, vertex id) so the nearest-source
-    // labelling is the lexicographically smallest one.
-    let mut heap: BinaryHeap<Reverse<(Weight, VertexId, VertexId)>> = BinaryHeap::new();
-
     let mut sorted_sources: Vec<VertexId> = sources.to_vec();
     sorted_sources.sort_unstable();
     sorted_sources.dedup();
-    for &s in &sorted_sources {
-        dist[s.index()] = 0;
-        nearest[s.index()] = Some(s);
-        heap.push(Reverse((0, s, s)));
-    }
-    while let Some(Reverse((d, src, u))) = heap.pop() {
-        if settled[u.index()] {
-            continue;
-        }
-        // A stale entry may carry an outdated source; skip it.
-        if nearest[u.index()] != Some(src) || dist[u.index()] != d {
-            continue;
-        }
-        settled[u.index()] = true;
-        for e in g.edges(u) {
-            let nd = d + e.weight;
-            let better = nd < dist[e.to.index()]
-                || (nd == dist[e.to.index()] && Some(src) < nearest[e.to.index()]);
-            if !settled[e.to.index()] && better {
-                dist[e.to.index()] = nd;
-                nearest[e.to.index()] = Some(src);
-                heap.push(Reverse((nd, src, e.to)));
-            }
-        }
-    }
-    MultiSourceShortestPaths { dist, nearest }
+    let mut scratch = SearchScratch::for_graph(g);
+    scratch.multi_source_into(g, &sorted_sources);
+    let mut dist = vec![INFINITY; n];
+    scratch.write_dist_row(&mut dist);
+    let nearest = (0..n as u32).map(|v| scratch.nearest(VertexId(v))).collect();
+    MultiSourceShortestPaths::from_parts(dist, nearest)
 }
 
 /// A restricted shortest-path search used to compute Thorup–Zwick clusters.
@@ -394,6 +383,23 @@ pub struct RestrictedTree {
 }
 
 impl RestrictedTree {
+    pub(crate) fn from_parts(
+        root: VertexId,
+        members: Vec<(VertexId, Weight)>,
+        parent: HashMap<VertexId, Option<VertexId>>,
+    ) -> Self {
+        RestrictedTree { root, members, parent }
+    }
+
+    /// Materializes the result of the last
+    /// [`SearchScratch::cluster_into`] search as an owned cluster tree.
+    pub fn from_scratch(scratch: &SearchScratch) -> Self {
+        let members = scratch.order().to_vec();
+        // Only settled vertices are members; their parents are final.
+        let parent = members.iter().map(|&(v, _)| (v, scratch.parent(v))).collect();
+        RestrictedTree { root: scratch.source(), members, parent }
+    }
+
     /// The root `w`.
     pub fn root(&self) -> VertexId {
         self.root
@@ -441,44 +447,9 @@ impl RestrictedTree {
 /// Computes the restricted shortest-path tree from `w` keeping only vertices
 /// `v` with `d(w, v) < bound[v.index()]`. See [`RestrictedTree`].
 pub fn cluster_dijkstra(g: &Graph, w: VertexId, bound: &[Weight]) -> RestrictedTree {
-    assert_eq!(bound.len(), g.n(), "bound slice must have one entry per vertex");
-    let mut dist: HashMap<VertexId, Weight> = HashMap::new();
-    let mut parent: HashMap<VertexId, Option<VertexId>> = HashMap::new();
-    let mut settled: HashMap<VertexId, bool> = HashMap::new();
-    let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
-    let mut members = Vec::new();
-
-    dist.insert(w, 0);
-    parent.insert(w, None);
-    heap.push(Reverse((0, w)));
-    while let Some(Reverse((d, u))) = heap.pop() {
-        if *settled.get(&u).unwrap_or(&false) {
-            continue;
-        }
-        settled.insert(u, true);
-        members.push((u, d));
-        for e in g.edges(u) {
-            let nd = d + e.weight;
-            // Keep the vertex only if it belongs to the cluster: the root is
-            // always kept (d(w,w)=0 < bound may not hold, but w is the root).
-            if e.to != w && nd >= bound[e.to.index()] {
-                continue;
-            }
-            let better = match dist.get(&e.to) {
-                Some(&old) => nd < old,
-                None => true,
-            };
-            if better {
-                dist.insert(e.to, nd);
-                parent.insert(e.to, Some(u));
-                heap.push(Reverse((nd, e.to)));
-            }
-        }
-    }
-    // Remove entries for vertices that were relaxed but never settled (their
-    // tentative distance might not be final).
-    parent.retain(|v, _| *settled.get(v).unwrap_or(&false));
-    RestrictedTree { root: w, members, parent }
+    let mut scratch = SearchScratch::for_graph(g);
+    scratch.cluster_into(g, w, bound);
+    RestrictedTree::from_scratch(&scratch)
 }
 
 #[cfg(test)]
@@ -549,9 +520,11 @@ mod tests {
         let g = path_graph(5);
         let sp = dijkstra(&g, VertexId(2));
         let children = sp.children();
-        assert_eq!(children[2], vec![VertexId(1), VertexId(3)]);
-        assert_eq!(children[1], vec![VertexId(0)]);
-        assert!(children[0].is_empty());
+        assert_eq!(children.of(VertexId(2)), &[VertexId(1), VertexId(3)]);
+        assert_eq!(children.of(VertexId(1)), &[VertexId(0)]);
+        assert!(children.of(VertexId(0)).is_empty());
+        assert_eq!(children.len(), 4);
+        assert!(!children.is_empty());
     }
 
     #[test]

@@ -100,9 +100,59 @@ where
     U: Send,
     F: Fn(usize) -> U + Sync,
 {
+    // The scratch executor with a unit scratch — one chunk-claiming loop to
+    // maintain instead of two.
+    par_map_scratch_with(threads, n, || (), |_, i| f(i))
+}
+
+/// Applies `f` to every element of `items` in parallel, returning results in
+/// input order. See [`par_map_index`] for the determinism guarantee.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_index(items.len(), |i| f(&items[i]))
+}
+
+/// [`par_map_index`] with a per-worker scratch workspace: every worker calls
+/// `init()` **once** and then reuses that value across all the indices it
+/// processes, passing it to `f` by mutable reference.
+///
+/// This is the fan-out primitive of the allocation-free search kernel: a
+/// worker builds one `SearchScratch` (a few `O(n)` arrays plus a heap) and
+/// amortizes it over its whole share of the work items, instead of paying
+/// the allocation per item. `threads() == 1` runs on the calling thread with
+/// a single scratch and zero executor overhead.
+///
+/// Determinism: results are assembled in index order exactly like
+/// [`par_map_index`], so as long as `f(scratch, i)` returns the same value
+/// for every (freshly initialized or reused) scratch — which epoch-stamped
+/// workspaces guarantee — the output is byte-for-byte identical to the
+/// sequential `(0..n).map(...)` for every thread count.
+pub fn par_map_scratch<S, U, I, F>(n: usize, init: I, f: F) -> Vec<U>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
+    par_map_scratch_with(threads(), n, init, f)
+}
+
+/// [`par_map_scratch`] with an explicit thread count, ignoring the global
+/// setting (the harness uses this to compare `threads=1` against
+/// `threads=T` inside one process).
+pub fn par_map_scratch_with<S, U, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<U>
+where
+    U: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> U + Sync,
+{
     let workers = threads.max(1).min(n);
     if workers <= 1 {
-        return (0..n).map(f).collect();
+        let mut scratch = init();
+        return (0..n).map(|i| f(&mut scratch, i)).collect();
     }
     // Small chunks give load balancing; 8 chunks per worker keeps the tail
     // short while bounding claim traffic to O(workers) atomic ops.
@@ -112,6 +162,7 @@ where
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                let mut scratch = init();
                 let mut local: Vec<(usize, Vec<U>)> = Vec::new();
                 loop {
                     let start = counter.fetch_add(chunk, Ordering::Relaxed);
@@ -119,7 +170,7 @@ where
                         break;
                     }
                     let end = (start + chunk).min(n);
-                    local.push((start, (start..end).map(&f).collect()));
+                    local.push((start, (start..end).map(|i| f(&mut scratch, i)).collect()));
                 }
                 done.lock().expect("no panicked holder").extend(local);
             });
@@ -133,17 +184,6 @@ where
         out.append(&mut c);
     }
     out
-}
-
-/// Applies `f` to every element of `items` in parallel, returning results in
-/// input order. See [`par_map_index`] for the determinism guarantee.
-pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
-where
-    T: Sync,
-    U: Send,
-    F: Fn(&T) -> U + Sync,
-{
-    par_map_index(items.len(), |i| f(&items[i]))
 }
 
 #[cfg(test)]
@@ -185,6 +225,41 @@ mod tests {
         assert_eq!(threads(), 1);
         set_threads(before);
         assert!(available_threads() >= 1);
+    }
+
+    #[test]
+    fn scratch_reuse_matches_sequential_for_every_thread_count() {
+        // The scratch counts how many items this worker has processed; the
+        // result must not depend on it (mirroring how an epoch-stamped
+        // search workspace keeps results independent of reuse).
+        let expect: Vec<usize> = (0..503).map(|i| i * 3 + 1).collect();
+        for t in [1, 2, 4, 16] {
+            let out = par_map_scratch_with(
+                t,
+                503,
+                || 0usize,
+                |seen, i| {
+                    *seen += 1;
+                    assert!(*seen >= 1);
+                    i * 3 + 1
+                },
+            );
+            assert_eq!(out, expect, "threads={t}");
+        }
+    }
+
+    #[test]
+    fn scratch_init_runs_once_per_worker_sequentially() {
+        let inits = AtomicUsize::new(0);
+        let out = par_map_scratch_with(
+            1,
+            100,
+            || inits.fetch_add(1, Ordering::Relaxed),
+            |_, i| i,
+        );
+        assert_eq!(inits.load(Ordering::Relaxed), 1);
+        assert_eq!(out.len(), 100);
+        assert!(par_map_scratch_with(4, 0, || 0, |_: &mut i32, i| i).is_empty());
     }
 
     #[test]

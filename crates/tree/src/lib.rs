@@ -53,7 +53,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use routing_graph::shortest_path::{RestrictedTree, ShortestPathTree};
-use routing_graph::{Graph, Port, VertexId};
+use routing_graph::{Graph, Port, SearchScratch, VertexId};
 use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
 
 /// Errors produced while building a tree router.
@@ -335,6 +335,27 @@ impl TreeScheme {
         Self::from_parents(g, tree.root(), &parents)
     }
 
+    /// Builds the router straight from the last search run on a
+    /// [`SearchScratch`] — a full Dijkstra (`dijkstra_into`) or a restricted
+    /// cluster search (`cluster_into`) — without materializing an owned
+    /// [`ShortestPathTree`]/[`RestrictedTree`] first. The settled vertices
+    /// become the tree; the result is identical to going through
+    /// [`TreeScheme::from_spt`]/[`TreeScheme::from_restricted`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TreeBuildError`] (cannot occur for a well-formed search
+    /// on `g`).
+    pub fn from_scratch(g: &Graph, scratch: &SearchScratch) -> Result<Self, TreeBuildError> {
+        let mut parents = HashMap::with_capacity(scratch.order().len());
+        for &(v, _) in scratch.order() {
+            if let Some(p) = scratch.parent(v) {
+                parents.insert(v, p);
+            }
+        }
+        Self::from_parents(g, scratch.source(), &parents)
+    }
+
     /// The root of the tree.
     pub fn root(&self) -> VertexId {
         self.root
@@ -532,6 +553,32 @@ mod tests {
         for &(v, d) in cluster.members() {
             let out = simulate(&g, &t, VertexId(0), v).unwrap();
             assert_eq!(out.weight, d, "cluster tree routes on shortest paths from the root");
+        }
+    }
+
+    #[test]
+    fn from_scratch_matches_the_materializing_constructors() {
+        let g = generators::grid(6, 6);
+        let mut scratch = SearchScratch::for_graph(&g);
+
+        scratch.dijkstra_into(&g, VertexId(7));
+        let a = TreeScheme::from_scratch(&g, &scratch).unwrap();
+        let b = TreeScheme::from_spt(&g, &dijkstra(&g, VertexId(7))).unwrap();
+        for v in g.vertices() {
+            assert_eq!(a.node_info(v), b.node_info(v));
+            assert_eq!(a.label(v), b.label(v));
+        }
+
+        let ms = multi_source_dijkstra(&g, &[VertexId(35)]);
+        let bound: Vec<_> = g.vertices().map(|v| ms.dist(v).unwrap()).collect();
+        scratch.cluster_into(&g, VertexId(0), &bound);
+        let a = TreeScheme::from_scratch(&g, &scratch).unwrap();
+        let b =
+            TreeScheme::from_restricted(&g, &cluster_dijkstra(&g, VertexId(0), &bound)).unwrap();
+        assert_eq!(a.len(), b.len());
+        for v in g.vertices() {
+            assert_eq!(a.node_info(v), b.node_info(v));
+            assert_eq!(a.label(v), b.label(v));
         }
     }
 

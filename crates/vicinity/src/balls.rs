@@ -6,51 +6,105 @@
 //! guarantees that greedily following these first edges delivers the message
 //! on a shortest path — this is Lemma 2 of the paper and the building block
 //! of both new routing techniques.
+//!
+//! # Memory layout
+//!
+//! The table is stored **flat**: all `n` balls share four parallel arrays
+//! indexed through one CSR offset table, instead of one `Ball` object plus
+//! one `HashMap` per vertex. Per vertex `u` the table keeps
+//!
+//! * its members `(v, d(u, v))` in `(distance, id)` settle order (what
+//!   [`BallView::members`] exposes and the sequence builders iterate), with
+//!   the first hop towards each member alongside, and
+//! * the same members as **id-sorted** `(v, port, d(u, v))` triples, so the
+//!   query-path operations — [`BallTable::contains`], [`BallTable::dist`],
+//!   [`BallTable::first_port`] — are one binary search over a contiguous
+//!   slice instead of a hash lookup per call.
+//!
+//! Building runs one *bounded* ball search per vertex
+//! ([`SearchScratch::ball_into`], which stops after `ℓ` settled vertices) on
+//! a per-worker reusable workspace, so the build allocates nothing per
+//! vertex beyond the table itself.
 
-use std::collections::HashMap;
-
-use routing_graph::shortest_path::{ball, Ball};
+use routing_graph::scratch::SearchScratch;
 use routing_graph::{Graph, Port, VertexId, Weight};
 use routing_model::{Decision, HeaderSize, RouteError, RoutingScheme};
 
+/// Sentinel port stored for the ball's center (which has no first hop).
+const NO_PORT: Port = Port(u32::MAX);
+
 /// The balls `B(u, ℓ)` of every vertex, with the routing information of
-/// Lemma 2 (first-hop port towards every member).
+/// Lemma 2 (first-hop port towards every member), in flat CSR form.
 #[derive(Debug, Clone)]
 pub struct BallTable {
     ell: usize,
-    balls: Vec<Ball>,
-    /// `ports[u][v]` = port at `u` on a shortest path towards ball member `v`.
-    ports: Vec<HashMap<VertexId, Port>>,
+    /// `offsets[u]..offsets[u+1]` indexes the member arrays for vertex `u`.
+    offsets: Vec<u32>,
+    /// Members with distances, per vertex in `(distance, id)` settle order
+    /// (center first).
+    members: Vec<(VertexId, Weight)>,
+    /// First hop from the center towards each member, aligned with
+    /// `members` (`None` for the center).
+    first_hops: Vec<Option<VertexId>>,
+    /// Per vertex: the same members as id-sorted `(member, port, distance)`
+    /// triples — the binary-searched query path.
+    lookup: Vec<(VertexId, Port, Weight)>,
+    /// The radius `r_u(ℓ)` of every ball.
+    radius: Vec<Weight>,
 }
 
 impl BallTable {
     /// Computes `B(u, ℓ)` for every vertex `u` of `g`, together with the
-    /// first-hop ports Lemma 2 stores. The per-vertex ball searches are
-    /// independent, so they fan out over [`routing_par::threads`] threads;
-    /// the resulting table is identical for every thread count.
+    /// first-hop ports Lemma 2 stores. The per-vertex bounded ball searches
+    /// are independent, so they fan out over [`routing_par::threads`]
+    /// threads, each worker reusing one search workspace; the resulting
+    /// table is identical for every thread count.
     pub fn build(g: &Graph, ell: usize) -> Self {
-        let per_vertex: Vec<(Ball, HashMap<VertexId, Port>)> =
-            routing_par::par_map_index(g.n(), |i| {
+        let n = g.n();
+        type PerVertex = (Vec<(VertexId, Weight)>, Vec<Option<VertexId>>, Vec<Port>, Weight);
+        let per_vertex: Vec<PerVertex> = routing_par::par_map_scratch(
+            n,
+            || SearchScratch::for_graph(g),
+            |scratch, i| {
                 let u = VertexId(i as u32);
-                let b = ball(g, u, ell);
-                let mut port_map = HashMap::with_capacity(b.len());
-                for &(v, _) in b.members() {
+                let radius = scratch.ball_into(g, u, ell);
+                let members = scratch.order().to_vec();
+                let mut first_hops = Vec::with_capacity(members.len());
+                let mut ports = Vec::with_capacity(members.len());
+                for &(v, _) in &members {
                     if v == u {
-                        continue;
+                        first_hops.push(None);
+                        ports.push(NO_PORT);
+                    } else {
+                        let hop =
+                            scratch.first_hop(v).expect("non-center members have a first hop");
+                        first_hops.push(Some(hop));
+                        ports.push(g.port_to(u, hop).expect("first hop is a neighbour"));
                     }
-                    let hop = b.first_hop(v).expect("non-center members have a first hop");
-                    let port = g.port_to(u, hop).expect("first hop is a neighbour");
-                    port_map.insert(v, port);
                 }
-                (b, port_map)
-            });
-        let mut balls = Vec::with_capacity(g.n());
-        let mut ports = Vec::with_capacity(g.n());
-        for (b, port_map) in per_vertex {
-            balls.push(b);
-            ports.push(port_map);
+                (members, first_hops, ports, radius)
+            },
+        );
+
+        let total: usize = per_vertex.iter().map(|(m, _, _, _)| m.len()).sum();
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut members = Vec::with_capacity(total);
+        let mut first_hops = Vec::with_capacity(total);
+        let mut lookup = Vec::with_capacity(total);
+        let mut radius = Vec::with_capacity(n);
+        offsets.push(0u32);
+        let mut sorted: Vec<(VertexId, Port, Weight)> = Vec::new();
+        for (m, fh, ports, r) in per_vertex {
+            sorted.clear();
+            sorted.extend(m.iter().zip(&ports).map(|(&(v, d), &p)| (v, p, d)));
+            sorted.sort_unstable_by_key(|&(v, _, _)| v);
+            lookup.extend_from_slice(&sorted);
+            members.extend(m);
+            first_hops.extend(fh);
+            radius.push(r);
+            offsets.push(members.len() as u32);
         }
-        BallTable { ell, balls, ports }
+        BallTable { ell, offsets, members, first_hops, lookup, radius }
     }
 
     /// The ball size parameter `ℓ` the table was built with.
@@ -58,46 +112,136 @@ impl BallTable {
         self.ell
     }
 
-    /// The ball of `u`.
-    pub fn ball(&self, u: VertexId) -> &Ball {
-        &self.balls[u.index()]
+    #[inline]
+    fn range(&self, u: VertexId) -> std::ops::Range<usize> {
+        self.offsets[u.index()] as usize..self.offsets[u.index() + 1] as usize
+    }
+
+    /// A borrowed view of the ball of `u`.
+    pub fn ball(&self, u: VertexId) -> BallView<'_> {
+        BallView { table: self, u }
+    }
+
+    /// The id-sorted `(member, port, distance)` triple for `v` in `B(u, ℓ)`,
+    /// found by binary search.
+    #[inline]
+    fn entry(&self, u: VertexId, v: VertexId) -> Option<(VertexId, Port, Weight)> {
+        let slice = &self.lookup[self.range(u)];
+        slice
+            .binary_search_by_key(&v, |&(m, _, _)| m)
+            .ok()
+            .map(|i| slice[i])
     }
 
     /// Returns true if `v ∈ B(u, ℓ)`.
     pub fn contains(&self, u: VertexId, v: VertexId) -> bool {
-        self.balls[u.index()].contains(v)
+        self.entry(u, v).is_some()
     }
 
     /// Distance from `u` to `v` if `v ∈ B(u, ℓ)`.
     pub fn dist(&self, u: VertexId, v: VertexId) -> Option<Weight> {
-        self.balls[u.index()].dist_to(v)
+        self.entry(u, v).map(|(_, _, d)| d)
     }
 
     /// The first hop of a shortest path from `u` to `v`, if `v ∈ B(u, ℓ)`
     /// and `v != u`.
     pub fn first_hop(&self, u: VertexId, v: VertexId) -> Option<VertexId> {
-        self.balls[u.index()].first_hop(v)
+        self.ball(u).first_hop(v)
     }
 
     /// The port at `u` on a shortest path towards ball member `v`.
     pub fn first_port(&self, u: VertexId, v: VertexId) -> Option<Port> {
-        self.ports[u.index()].get(&v).copied()
+        self.entry(u, v).and_then(|(_, p, _)| (p != NO_PORT).then_some(p))
     }
 
     /// The space Lemma 2 charges to `u`, in `O(log n)`-bit words: one id, one
     /// distance and one port word per ball member other than `u` itself.
     pub fn words_at(&self, u: VertexId) -> usize {
-        3 * (self.balls[u.index()].len().saturating_sub(1))
+        3 * (self.range(u).len().saturating_sub(1))
     }
 
     /// Number of vertices covered by the table.
     pub fn len(&self) -> usize {
-        self.balls.len()
+        self.offsets.len() - 1
     }
 
     /// True if the table covers no vertices.
     pub fn is_empty(&self) -> bool {
-        self.balls.is_empty()
+        self.offsets.len() <= 1
+    }
+}
+
+/// A borrowed view of one ball `B(u, ℓ)` inside a [`BallTable`].
+///
+/// Mirrors the API of the owned [`routing_graph::shortest_path::Ball`], but
+/// reads straight from the table's flat arrays; membership-style queries are
+/// binary searches over the id-sorted member slice.
+#[derive(Debug, Clone, Copy)]
+pub struct BallView<'a> {
+    table: &'a BallTable,
+    u: VertexId,
+}
+
+impl BallView<'_> {
+    /// The center vertex `u`.
+    pub fn center(&self) -> VertexId {
+        self.u
+    }
+
+    /// Number of members (including the center).
+    pub fn len(&self) -> usize {
+        self.table.range(self.u).len()
+    }
+
+    /// True if the ball contains only its center or is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() <= 1
+    }
+
+    /// Members in `(distance, id)` order, the center first.
+    pub fn members(&self) -> &[(VertexId, Weight)] {
+        &self.table.members[self.table.range(self.u)]
+    }
+
+    /// Returns true if `v` is in the ball.
+    pub fn contains(&self, v: VertexId) -> bool {
+        self.table.contains(self.u, v)
+    }
+
+    /// Distance from the center to member `v`, or `None` if `v` is not in
+    /// the ball.
+    pub fn dist_to(&self, v: VertexId) -> Option<Weight> {
+        self.table.dist(self.u, v)
+    }
+
+    /// The rank of `v` in the `(distance, id)` order (0 for the center), or
+    /// `None` if `v` is not a member. Because balls are nested, `rank(v) < k`
+    /// is exactly the membership test `v ∈ B(u, k)` for any `k` up to this
+    /// ball's size.
+    pub fn rank(&self, v: VertexId) -> Option<usize> {
+        let d = self.table.dist(self.u, v)?;
+        self.members()
+            .binary_search_by(|&(m, md)| (md, m).cmp(&(d, v)))
+            .ok()
+    }
+
+    /// The first hop of a shortest path from the center to member `v`
+    /// (`None` if `v` is not a member or is the center itself).
+    pub fn first_hop(&self, v: VertexId) -> Option<VertexId> {
+        let rank = self.rank(v)?;
+        self.table.first_hops[self.table.range(self.u)][rank]
+    }
+
+    /// The largest distance value `r` such that every vertex at distance
+    /// exactly `r` from the center is inside the ball (the paper's
+    /// `r_u(ℓ)`).
+    pub fn radius(&self) -> Weight {
+        self.table.radius[self.u.index()]
+    }
+
+    /// The largest distance of any member.
+    pub fn max_dist(&self) -> Weight {
+        self.members().last().map(|&(_, d)| d).unwrap_or(0)
     }
 }
 
@@ -199,7 +343,7 @@ mod tests {
     use rand::rngs::StdRng;
     use rand::SeedableRng;
     use routing_graph::generators;
-    use routing_graph::shortest_path::dijkstra;
+    use routing_graph::shortest_path::{ball, dijkstra};
     use routing_model::simulate;
 
     #[test]
@@ -221,6 +365,35 @@ mod tests {
                     let port = t.first_port(u, v).unwrap();
                     assert_eq!(g.neighbor_at(u, port).to, hop);
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn flat_table_matches_standalone_balls() {
+        // The CSR table must agree with the owned Ball API member for
+        // member: same order, ranks, radii, hops.
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = generators::erdos_renyi(
+            60,
+            0.08,
+            generators::WeightModel::Uniform { lo: 1, hi: 7 },
+            &mut rng,
+        );
+        let t = BallTable::build(&g, 8);
+        for u in g.vertices() {
+            let owned = ball(&g, u, 8);
+            let view = t.ball(u);
+            assert_eq!(view.members(), owned.members());
+            assert_eq!(view.radius(), owned.radius());
+            assert_eq!(view.max_dist(), owned.max_dist());
+            assert_eq!(view.center(), owned.center());
+            assert_eq!(view.is_empty(), owned.is_empty());
+            for v in g.vertices() {
+                assert_eq!(view.contains(v), owned.contains(v));
+                assert_eq!(view.dist_to(v), owned.dist_to(v));
+                assert_eq!(view.rank(v), owned.rank(v));
+                assert_eq!(view.first_hop(v), owned.first_hop(v));
             }
         }
     }

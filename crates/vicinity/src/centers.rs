@@ -18,8 +18,8 @@ use std::collections::HashMap;
 
 use rand::Rng;
 
-use routing_graph::shortest_path::{cluster_dijkstra, multi_source_dijkstra, RestrictedTree};
-use routing_graph::{Graph, VertexId, Weight, INFINITY};
+use routing_graph::shortest_path::{multi_source_dijkstra, RestrictedTree};
+use routing_graph::{Graph, SearchScratch, VertexId, Weight, INFINITY};
 
 /// A landmark set `A` together with the nearest-landmark data of every
 /// vertex.
@@ -120,12 +120,19 @@ pub fn sample_centers_bounded<R: Rng>(g: &Graph, s: usize, rng: &mut R) -> Landm
         let landmarks = Landmarks::new(g, a.clone());
         a = landmarks.members().to_vec();
         // The per-vertex cluster-size checks dominate the sampling loop; they
-        // are independent restricted searches, so fan them out. Sampling
-        // itself stays on this thread, keeping rng consumption (and thus the
-        // chosen set) identical for every thread count.
-        let too_large: Vec<bool> = routing_par::par_map_index(n, |v| {
-            cluster_dijkstra(g, VertexId(v as u32), landmarks.bound_slice()).len() > limit
-        });
+        // are independent restricted searches, so fan them out over
+        // per-worker scratch workspaces (only the settled count is needed,
+        // so no tree is materialized at all). Sampling itself stays on this
+        // thread, keeping rng consumption (and thus the chosen set)
+        // identical for every thread count.
+        let too_large: Vec<bool> = routing_par::par_map_scratch(
+            n,
+            || SearchScratch::for_graph(g),
+            |scratch, v| {
+                scratch.cluster_into(g, VertexId(v as u32), landmarks.bound_slice());
+                scratch.order().len() > limit
+            },
+        );
         w = g.vertices().filter(|v| too_large[v.index()]).collect();
         if a.len() == n {
             break;
@@ -137,9 +144,14 @@ pub fn sample_centers_bounded<R: Rng>(g: &Graph, s: usize, rng: &mut R) -> Landm
 /// Computes the cluster tree `T_{C_A(w)}` of every vertex `w`, indexed by
 /// vertex id. One restricted search per vertex, run in parallel.
 pub fn all_clusters(g: &Graph, landmarks: &Landmarks) -> Vec<RestrictedTree> {
-    routing_par::par_map_index(g.n(), |w| {
-        cluster_dijkstra(g, VertexId(w as u32), landmarks.bound_slice())
-    })
+    routing_par::par_map_scratch(
+        g.n(),
+        || SearchScratch::for_graph(g),
+        |scratch, w| {
+            scratch.cluster_into(g, VertexId(w as u32), landmarks.bound_slice());
+            RestrictedTree::from_scratch(scratch)
+        },
+    )
 }
 
 /// Inverts clusters into bunches: `bunches(g, clusters)[v]` lists every
@@ -163,9 +175,14 @@ pub fn bunches(g: &Graph, clusters: &[RestrictedTree]) -> Vec<Vec<(VertexId, Wei
 
 /// Convenience: the largest cluster size for a landmark set.
 pub fn max_cluster_size(g: &Graph, landmarks: &Landmarks) -> usize {
-    routing_par::par_map_index(g.n(), |w| {
-        cluster_dijkstra(g, VertexId(w as u32), landmarks.bound_slice()).len()
-    })
+    routing_par::par_map_scratch(
+        g.n(),
+        || SearchScratch::for_graph(g),
+        |scratch, w| {
+            scratch.cluster_into(g, VertexId(w as u32), landmarks.bound_slice());
+            scratch.order().len()
+        },
+    )
     .into_iter()
     .max()
     .unwrap_or(0)

@@ -89,11 +89,15 @@ pub fn hitting_set_random<R: Rng>(n: usize, sets: &[Vec<VertexId>], rng: &mut R)
 }
 
 /// Returns true if `candidate` intersects every non-empty set.
+///
+/// The candidate is sorted once and every membership probe is a binary
+/// search over that slice — no per-check hash set is materialized.
 pub fn hits_all(candidate: &[VertexId], sets: &[Vec<VertexId>]) -> bool {
-    let lookup: std::collections::HashSet<VertexId> = candidate.iter().copied().collect();
+    let mut lookup: Vec<VertexId> = candidate.to_vec();
+    lookup.sort_unstable();
     sets.iter()
         .filter(|s| !s.is_empty())
-        .all(|s| s.iter().any(|v| lookup.contains(v)))
+        .all(|s| s.iter().any(|v| lookup.binary_search(v).is_ok()))
 }
 
 #[cfg(test)]

@@ -274,6 +274,201 @@ fn parallel_and_sequential_ground_truth_are_identical() {
 }
 
 // ---------------------------------------------------------------------------
+// Kernel equivalence: the allocation-free search kernel (SearchScratch, the
+// flat BallTable, the flat TZ bunches) must be bit-identical to the
+// pre-refactor implementations kept in `routing_graph::reference`.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, .. ProptestConfig::default() })]
+
+    /// One reused `SearchScratch` running an interleaved mix of full,
+    /// bounded, multi-source and restricted searches must agree search by
+    /// search with the pre-refactor allocating implementations — distances,
+    /// parents, first hops, member order, radii and nearest-source labels.
+    #[test]
+    fn scratch_kernel_matches_reference_searches((g, seed) in arb_graph(), ell in 2usize..16) {
+        use routing_graph::{reference, SearchScratch};
+        let mut scratch = SearchScratch::for_graph(&g);
+        let sources: Vec<VertexId> = g.vertices().step_by(9).collect();
+
+        for u in g.vertices().step_by(5) {
+            // Bounded ball search first, so the following full search must
+            // overwrite its partial state via the epoch stamp.
+            let radius = scratch.ball_into(&g, u, ell);
+            let b = reference::ball_hashmap(&g, u, ell);
+            prop_assert_eq!(radius, b.radius(), "radius differs at {}", u);
+            prop_assert_eq!(scratch.order(), b.members());
+            for &(v, _) in b.members() {
+                prop_assert_eq!(scratch.first_hop(v), b.first_hop(v));
+            }
+
+            scratch.dijkstra_into(&g, u);
+            let sp = reference::dijkstra_alloc(&g, u);
+            for v in g.vertices() {
+                prop_assert_eq!(scratch.dist(v), sp.dist(v));
+                prop_assert_eq!(scratch.parent(v), sp.parent(v));
+                prop_assert_eq!(scratch.first_hop(v), sp.first_hop(v));
+            }
+        }
+
+        scratch.multi_source_into(&g, &sources);
+        let ms = reference::multi_source_alloc(&g, &sources);
+        for v in g.vertices() {
+            prop_assert_eq!(scratch.dist(v), ms.dist(v));
+            prop_assert_eq!(scratch.nearest(v), ms.nearest(v));
+        }
+
+        let bound: Vec<u64> = g.vertices().map(|v| ms.dist(v).unwrap_or(u64::MAX)).collect();
+        for w in g.vertices().step_by(7) {
+            scratch.cluster_into(&g, w, &bound);
+            let tree = reference::cluster_dijkstra_hashmap(&g, w, &bound);
+            prop_assert_eq!(scratch.order(), tree.members());
+            for &(v, _) in tree.members() {
+                prop_assert_eq!(Some(scratch.parent(v)), tree.parent(v));
+            }
+        }
+    }
+
+    /// The flat CSR `BallTable`, built at thread counts 1 and 4, is
+    /// bit-identical to a table assembled per vertex from the pre-refactor
+    /// `HashMap` ball search: same members in the same order, same
+    /// membership answers, distances, ports and first hops, for members and
+    /// non-members alike.
+    #[test]
+    fn flat_ball_table_matches_reference_at_thread_counts(
+        (g, _seed) in arb_graph(),
+        ell in 2usize..14,
+    ) {
+        use routing_graph::reference;
+        let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        for threads in [1usize, 4] {
+            routing_par::set_threads(threads);
+            let table = BallTable::build(&g, ell);
+            routing_par::set_threads(routing_par::available_threads());
+            for u in g.vertices() {
+                let b = reference::ball_hashmap(&g, u, ell);
+                prop_assert_eq!(table.ball(u).members(), b.members(), "threads={}", threads);
+                prop_assert_eq!(table.ball(u).radius(), b.radius());
+                for v in g.vertices() {
+                    prop_assert_eq!(table.contains(u, v), b.contains(v));
+                    prop_assert_eq!(table.dist(u, v), b.dist_to(v));
+                    prop_assert_eq!(table.first_hop(u, v), b.first_hop(v));
+                    let expect_port = b
+                        .first_hop(v)
+                        .map(|hop| g.port_to(u, hop).expect("first hop is a neighbour"));
+                    prop_assert_eq!(table.first_port(u, v), expect_port);
+                }
+            }
+        }
+    }
+
+    /// The flat (sorted-slice) TZ bunch tables answer exactly like the
+    /// hierarchy's bunch lists: every bunch entry is found at its recorded
+    /// distance, every non-member probe misses, the oracle's ping-pong query
+    /// built on them matches a `HashMap`-based reference evaluation, and
+    /// builds at thread counts 1 and 4 route identically.
+    #[test]
+    fn flat_tz_bunches_match_hashmap_baseline(seed in 1u64..500, n in 40usize..80) {
+        use std::collections::HashMap;
+        let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let mut gen_rng = StdRng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(
+            n,
+            10.0 / n as f64,
+            WeightModel::Uniform { lo: 1, hi: 9 },
+            &mut gen_rng,
+        );
+
+        let build = |threads: usize| {
+            routing_par::set_threads(threads);
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x72);
+            let h = routing_baselines::TzHierarchy::build(&g, 2, &mut rng).unwrap();
+            routing_par::set_threads(routing_par::available_threads());
+            h
+        };
+        let h1 = build(1);
+        let h4 = build(4);
+
+        // Reference: per-vertex HashMaps rebuilt from the hierarchy's
+        // bunch lists (the exact pre-refactor oracle layout).
+        let bunch_maps: Vec<HashMap<VertexId, u64>> = g
+            .vertices()
+            .map(|v| h1.bunch(v).iter().copied().collect())
+            .collect();
+        let oracle = routing_baselines::TzOracle::new(h1.clone());
+        for u in g.vertices() {
+            for v in g.vertices() {
+                // Reference ping-pong evaluation on the HashMaps.
+                let expect = {
+                    if u == v { 0 } else {
+                        let (mut a, mut b) = (u, v);
+                        let mut w = a;
+                        let mut i = 0usize;
+                        loop {
+                            if let Some(&dwv) = bunch_maps[b.index()].get(&w) {
+                                let dwu = bunch_maps[a.index()]
+                                    .get(&w)
+                                    .copied()
+                                    .unwrap_or_else(|| h1.pivot(i, a).1);
+                                break dwu + dwv;
+                            }
+                            i += 1;
+                            std::mem::swap(&mut a, &mut b);
+                            w = h1.pivot(i, a).0;
+                        }
+                    }
+                };
+                prop_assert_eq!(oracle.query(u, v), expect, "oracle differs on ({}, {})", u, v);
+            }
+            // Membership fidelity: every bunch entry hits, non-members miss.
+            prop_assert_eq!(h1.bunch(u), h4.bunch(u));
+        }
+
+        let s1 = routing_baselines::TzRoutingScheme::new(h1);
+        let s4 = routing_baselines::TzRoutingScheme::new(h4);
+        for u in g.vertices().step_by(5) {
+            for v in g.vertices().step_by(3) {
+                let a = simulate(&g, &s1, u, v).unwrap();
+                let b = simulate(&g, &s4, u, v).unwrap();
+                prop_assert_eq!(a.weight, b.weight);
+                prop_assert_eq!(a.hops, b.hops);
+            }
+        }
+    }
+
+    /// The public wrapper entry points (fresh-workspace-per-call) are
+    /// bit-identical to the reference implementations too — the contract the
+    /// rest of the workspace relies on when it mixes wrappers and scratch.
+    #[test]
+    fn wrapper_entry_points_match_reference((g, _seed) in arb_graph(), ell in 2usize..12) {
+        use routing_graph::reference;
+        use routing_graph::shortest_path::{ball, dijkstra, multi_source_dijkstra};
+        for u in g.vertices().step_by(11) {
+            let a = dijkstra(&g, u);
+            let b = reference::dijkstra_alloc(&g, u);
+            for v in g.vertices() {
+                prop_assert_eq!(a.dist(v), b.dist(v));
+                prop_assert_eq!(a.parent(v), b.parent(v));
+                prop_assert_eq!(a.first_hop(v), b.first_hop(v));
+                prop_assert_eq!(a.path_to(v), b.path_to(v));
+            }
+            let a = ball(&g, u, ell);
+            let b = reference::ball_hashmap(&g, u, ell);
+            prop_assert_eq!(a.members(), b.members());
+            prop_assert_eq!(a.radius(), b.radius());
+        }
+        let sources: Vec<VertexId> = g.vertices().step_by(6).collect();
+        let a = multi_source_dijkstra(&g, &sources);
+        let b = reference::multi_source_alloc(&g, &sources);
+        for v in g.vertices() {
+            prop_assert_eq!(a.dist(v), b.dist(v));
+            prop_assert_eq!(a.nearest(v), b.nearest(v));
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Erasure fidelity: the object-safe `DynScheme` surface must be observably
 // indistinguishable from the typed `RoutingScheme` it erases.
 // ---------------------------------------------------------------------------
