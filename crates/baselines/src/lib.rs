@@ -9,14 +9,20 @@
 //!   `(2k−1)`-stretch distance oracle \[22\].
 //! * [`spanner`] — the greedy `(2k−1)`-spanner, included for the
 //!   spanner/oracle/routing storyline of the introduction.
+//!
+//! The crate also hosts the paper's [`thm16`] scheme — the `(4k−7+ε)`
+//! refinement of Theorem 16 — because it is built directly on top of the
+//! [`tz`] hierarchy rather than on the `routing-core` vicinity machinery.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod exact;
 pub mod spanner;
+pub mod thm16;
 pub mod tz;
 
 pub use exact::{ExactBuilder, ExactScheme};
 pub use spanner::{greedy_spanner, SpannerBuilder, SpannerScheme};
+pub use thm16::{Thm16Builder, Thm16Scheme};
 pub use tz::{TzBuilder, TzHierarchy, TzOracle, TzRoutingScheme};

@@ -217,6 +217,12 @@ impl TzHierarchy {
         &self.cluster_trees[&w]
     }
 
+    /// All bunches as raw per-vertex lists, for flattening into a
+    /// [`FlatBunches`] table (shared with the Theorem 16 scheme).
+    pub(crate) fn bunches_raw(&self) -> &[Vec<(VertexId, Weight)>] {
+        &self.bunches
+    }
+
     /// The largest bunch size (a `Õ(k·n^{1/k})` quantity).
     pub fn max_bunch_size(&self) -> usize {
         self.bunches.iter().map(Vec::len).max().unwrap_or(0)
@@ -233,7 +239,7 @@ impl TzHierarchy {
 /// no per-vertex allocations, and the whole structure is two `Vec`s
 /// regardless of `n`.
 #[derive(Debug, Clone)]
-struct FlatBunches {
+pub(crate) struct FlatBunches {
     /// `offsets[v]..offsets[v+1]` indexes `entries` for vertex `v`.
     offsets: Vec<u32>,
     /// Bunch entries `(w, d(v, w))`, sorted by `w` within each vertex.
@@ -242,7 +248,7 @@ struct FlatBunches {
 
 impl FlatBunches {
     /// Flattens per-vertex bunch lists (any order) into the CSR form.
-    fn new(bunches: &[Vec<(VertexId, Weight)>]) -> Self {
+    pub(crate) fn new(bunches: &[Vec<(VertexId, Weight)>]) -> Self {
         let total = bunches.iter().map(Vec::len).sum();
         let mut offsets = Vec::with_capacity(bunches.len() + 1);
         let mut entries = Vec::with_capacity(total);
@@ -258,7 +264,7 @@ impl FlatBunches {
 
     /// `d(v, w)` if `w ∈ B(v)`.
     #[inline]
-    fn get(&self, v: VertexId, w: VertexId) -> Option<Weight> {
+    pub(crate) fn get(&self, v: VertexId, w: VertexId) -> Option<Weight> {
         let slice =
             &self.entries[self.offsets[v.index()] as usize..self.offsets[v.index() + 1] as usize];
         slice
@@ -269,7 +275,7 @@ impl FlatBunches {
 
     /// True if `w ∈ B(v)`.
     #[inline]
-    fn contains(&self, v: VertexId, w: VertexId) -> bool {
+    pub(crate) fn contains(&self, v: VertexId, w: VertexId) -> bool {
         self.get(v, w).is_some()
     }
 }

@@ -40,10 +40,10 @@
 //! | `--help` | — | print this table |
 //!
 //! The registered scheme names are `warmup`, `thm10`, `thm11`, `tz2`,
-//! `tz3`, `exact`, `spanner`; note `exact` and `spanner` build `Θ(n)`-word
-//! full tables (and the greedy spanner construction is `O(m)` shortest-path
-//! queries), so keep `--schemes all` to small `n` — CI runs it at `n = 300`
-//! as the registry smoke test.
+//! `tz3`, `exact`, `spanner`, `thm13`, `thm15`, `thm16k3`; note `exact`
+//! and `spanner` build `Θ(n)`-word full tables (and the greedy spanner
+//! construction is `O(m)` shortest-path queries), so keep `--schemes all`
+//! to small `n` — CI runs it at `n = 300` as the registry smoke test.
 
 use std::time::Instant;
 

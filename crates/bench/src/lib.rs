@@ -72,8 +72,9 @@ use routing_core::{BuildContext, Params};
 use routing_graph::apsp::DistanceMatrix;
 use routing_graph::generators::{Family, WeightModel};
 use routing_graph::Graph;
+use routing_graph::VertexId;
 use routing_model::eval::{evaluate, EvalReport, PairSelection};
-use routing_model::{DynScheme, RouteError};
+use routing_model::{simulate, DynScheme, RouteError};
 
 /// Configuration of one experiment run.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -235,6 +236,33 @@ pub const SCHEME_METAS: &[SchemeMeta] = &[
         space_exponent: Some(1.0),
         weighted: true,
     },
+    SchemeMeta {
+        key: "thm13",
+        table1_label: "this paper: Thm 13 multilevel (l=2)",
+        claimed_stretch: "(3+2/l+eps, 2)",
+        stretch_bound: StretchBound { base: 4.0, eps_coeff: 1.0, additive: 2.0 },
+        claimed_space: "O~(l n^1/2 / eps)",
+        space_exponent: Some(0.5),
+        weighted: true,
+    },
+    SchemeMeta {
+        key: "thm15",
+        table1_label: "this paper: Thm 15 multilevel (l=4)",
+        claimed_stretch: "(3+2/l+eps, 2)",
+        stretch_bound: StretchBound { base: 3.5, eps_coeff: 1.0, additive: 2.0 },
+        claimed_space: "O~(l n^1/2 / eps)",
+        space_exponent: Some(0.5),
+        weighted: true,
+    },
+    SchemeMeta {
+        key: "thm16k3",
+        table1_label: "this paper: Thm 16 (k=3)",
+        claimed_stretch: "4k-7+eps",
+        stretch_bound: StretchBound { base: 5.0, eps_coeff: 1.0, additive: 0.0 },
+        claimed_space: "O~(n^1/3 / eps)",
+        space_exponent: Some(1.0 / 3.0),
+        weighted: true,
+    },
 ];
 
 /// The metadata row for a registry key.
@@ -254,9 +282,63 @@ pub fn assert_meta_covers_registry(registry: &SchemeRegistry) {
     for key in registry.names() {
         assert!(scheme_meta(key).is_some(), "registered scheme {key:?} has no SchemeMeta row");
     }
-    for meta in SCHEME_METAS {
-        assert!(registry.contains(meta.key), "SchemeMeta row {:?} is not registered", meta.key);
+    for (i, meta) in SCHEME_METAS.iter().enumerate() {
+        assert!(
+            registry.contains(meta.key),
+            "SchemeMeta row {:?} is dead: no scheme is registered under it",
+            meta.key
+        );
+        assert!(
+            SCHEME_METAS[..i].iter().all(|m| m.key != meta.key),
+            "duplicate SchemeMeta row for {:?}",
+            meta.key
+        );
     }
+}
+
+/// Routes every pair in `pairs` through `scheme` and checks the routed
+/// weight against the declared envelope `(base + eps_coeff·ε)·d + additive`
+/// — the executable form of the bound table ([`SCHEME_METAS`]).
+///
+/// Returns the number of checked (non-self) pairs on success.
+///
+/// # Errors
+///
+/// Returns a description of the first violating pair: source, destination,
+/// routed weight, true distance and the allowed maximum. Routing failures
+/// and unreachable pairs are reported the same way — a conformance run is
+/// on a connected graph, where every pair must route.
+pub fn check_stretch_conformance(
+    g: &Graph,
+    scheme: &dyn DynScheme,
+    exact: &DistanceMatrix,
+    bound: &StretchBound,
+    epsilon: f64,
+    pairs: &[(VertexId, VertexId)],
+) -> Result<usize, String> {
+    let name = scheme.name();
+    let factor = bound.factor_at(epsilon);
+    let mut checked = 0usize;
+    for &(u, v) in pairs {
+        if u == v {
+            continue;
+        }
+        let out = simulate(g, scheme, u, v)
+            .map_err(|e| format!("{name}: routing {u}->{v} failed: {e}"))?;
+        let d = exact
+            .dist(u, v)
+            .ok_or_else(|| format!("{name}: no finite distance for {u}->{v}"))?;
+        let allowed = factor * d as f64 + bound.additive;
+        if out.weight as f64 > allowed + 1e-9 {
+            return Err(format!(
+                "{name}: stretch bound violated for {u}->{v}: routed {} > \
+                 ({factor:.3})*{d} + {} = {allowed:.3}",
+                out.weight, bound.additive
+            ));
+        }
+        checked += 1;
+    }
+    Ok(checked)
 }
 
 /// One row of the measured Table 1: what the paper claims next to what we
@@ -421,7 +503,9 @@ pub fn run_table1(
         let (g, exact) =
             if meta.weighted { (weighted, &exact_w) } else { (unweighted, &exact_u) };
         let scheme = registry.build(key, g, &ctx)?;
-        let label = if meta.key == "warmup" || meta.key == "thm10" || meta.key == "thm11" {
+        // ε-parameterized schemes (the paper's) get the concrete ε in their
+        // row label; fixed-bound baselines do not.
+        let label = if meta.stretch_bound.eps_coeff > 0.0 {
             format!("{} (eps={})", meta.table1_label, cfg.epsilon)
         } else {
             meta.table1_label.to_string()
@@ -479,7 +563,43 @@ mod tests {
     fn metas_cover_the_default_registry() {
         assert_meta_covers_registry(&SchemeRegistry::with_defaults());
         assert!(scheme_meta("tz2").is_some());
+        assert!(scheme_meta("thm13").is_some());
+        assert!(scheme_meta("thm16k3").is_some());
         assert!(scheme_meta("thm12").is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "dead")]
+    fn meta_rows_without_a_registered_scheme_are_rejected() {
+        // An empty registry leaves every SCHEME_METAS row dead; the checker
+        // must fail on the dead-row direction, not only on registered
+        // schemes lacking metadata.
+        assert_meta_covers_registry(&SchemeRegistry::new());
+    }
+
+    #[test]
+    fn conformance_checker_accepts_exact_and_rejects_impossible_bounds() {
+        let cfg = ExperimentConfig { n: 40, seed: 11, epsilon: 0.5, pairs: None };
+        let g = make_graph(Family::ErdosRenyi, WeightModel::Uniform { lo: 1, hi: 9 }, &cfg);
+        let exact = DistanceMatrix::new(&g);
+        let registry = SchemeRegistry::with_defaults();
+        let ctx = BuildContext { params: cfg.params(), seed: 3, threads: 1 };
+        let scheme = registry.build("exact", &g, &ctx).unwrap();
+        let pairs: Vec<(VertexId, VertexId)> =
+            (0..40).map(|i| (VertexId(i), VertexId((i + 7) % 40))).collect();
+
+        let ok_bound = StretchBound { base: 1.0, eps_coeff: 0.0, additive: 0.0 };
+        let checked =
+            check_stretch_conformance(&g, scheme.as_ref(), &exact, &ok_bound, 0.5, &pairs)
+                .unwrap();
+        assert_eq!(checked, 40);
+
+        // Deliberate violation: no scheme routes below the true distance, so
+        // a sub-1 bound must be reported — the checker can fail.
+        let impossible = StretchBound { base: 0.5, eps_coeff: 0.0, additive: 0.0 };
+        let err = check_stretch_conformance(&g, scheme.as_ref(), &exact, &impossible, 0.5, &pairs)
+            .unwrap_err();
+        assert!(err.contains("stretch bound violated"), "unexpected error: {err}");
     }
 
     #[test]

@@ -466,6 +466,57 @@ mod tests {
     }
 
     #[test]
+    fn thm16_classifies_stale_failures_and_rebuilds_to_full_reachability() {
+        // The Theorem 16 scheme under churn at n=500: stale-table routing
+        // after node removals must classify failures lossily (never panic),
+        // and a threshold rebuild must restore 100% reachability on the
+        // surviving component.
+        let g = base(500);
+        let plan_cfg = ChurnPlanConfig {
+            rounds: 3,
+            remove_frac: 0.1,
+            add_frac: 0.0,
+            mode: RemovalMode::Random,
+            ..ChurnPlanConfig::default()
+        };
+        let cfg = ChurnExperimentConfig {
+            pairs_per_round: 400,
+            sources_per_round: 0,
+            policy: RebuildPolicy::ReachabilityBelow(0.999),
+            seed: 7,
+        };
+        let result = run_churn(&g, &plan_cfg, &cfg, |g: &Graph| {
+            let mut rng = StdRng::seed_from_u64(9);
+            Ok(Box::new(routing_baselines::Thm16Scheme::build(
+                g,
+                3,
+                &Params::with_epsilon(0.5),
+                &mut rng,
+            )?))
+        })
+        .unwrap();
+        assert_eq!(result.scheme, "thm16k3");
+        assert_eq!(result.rounds.len(), 3);
+        // Removing 10% of vertices per round must break at least one stale
+        // route somewhere, so the strict threshold fires...
+        assert!(result.rebuild_count() >= 1, "stale tables must decay under 10% removals");
+        for r in &result.rounds {
+            // ...and every stale round accounts for all attempted pairs:
+            // delivered, classified failure, or graph-disconnected — no
+            // panics on dead vertices.
+            assert_eq!(
+                r.stale.delivered + r.stale.failures.total() + r.stale.disconnected_pairs,
+                r.stale.pairs,
+                "every attempted pair is delivered or classified"
+            );
+            if let Some(post) = &r.post {
+                assert_eq!(post.reachability, 1.0, "fresh thm16 tables route everything");
+                assert!(post.mean_stretch >= 1.0);
+            }
+        }
+    }
+
+    #[test]
     fn exact_scheme_round_trips_and_serializes() {
         let g = base(80);
         let plan_cfg = ChurnPlanConfig { rounds: 1, ..ChurnPlanConfig::default() };

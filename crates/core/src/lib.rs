@@ -38,6 +38,7 @@ mod params;
 pub mod scheme_2eps1;
 pub mod scheme_3eps;
 pub mod scheme_5eps;
+pub mod scheme_multilevel;
 pub mod seq;
 pub mod technique1;
 pub mod technique2;
@@ -48,5 +49,6 @@ pub use params::{HittingStrategy, Params};
 pub use scheme_2eps1::SchemeTwoPlusEps;
 pub use scheme_3eps::SchemeThreePlusEps;
 pub use scheme_5eps::SchemeFivePlusEps;
+pub use scheme_multilevel::{SchemeMultilevel, Thm13Builder, Thm15Builder};
 pub use technique1::{Technique1Router, Technique1Scheme};
 pub use technique2::{Technique2Router, Technique2Scheme};

@@ -399,6 +399,59 @@ mod tests {
     }
 
     #[test]
+    fn rank_boundaries_and_nested_ball_monotonicity() {
+        // The Theorem 13/15 substrate: one stored ball answers membership
+        // at every level because rank(v) < k  ⟺  v ∈ B(u, k).
+        let mut rng = StdRng::seed_from_u64(29);
+        let g = generators::erdos_renyi(
+            50,
+            0.1,
+            generators::WeightModel::Uniform { lo: 1, hi: 9 },
+            &mut rng,
+        );
+        let big = BallTable::build(&g, 16);
+        for u in g.vertices() {
+            let view = big.ball(u);
+            // The center always has rank 0.
+            assert_eq!(view.rank(u), Some(0));
+            // Members occupy exactly the ranks 0..len, each exactly once.
+            let mut seen = vec![false; view.len()];
+            for &(v, _) in view.members() {
+                let r = view.rank(v).unwrap();
+                assert!(r < view.len() && !seen[r], "rank {r} out of range or duplicated");
+                seen[r] = true;
+            }
+            // Non-members have no rank.
+            for v in g.vertices() {
+                if !view.contains(v) {
+                    assert_eq!(view.rank(v), None);
+                }
+            }
+        }
+        // Nested-ball monotonicity: for every smaller size k, the k-ball is
+        // exactly the rank-< k prefix of the big ball — same members, same
+        // ranks.
+        for k in [1usize, 4, 9, 16] {
+            let small = BallTable::build(&g, k);
+            for u in g.vertices() {
+                let sv = small.ball(u);
+                let bv = big.ball(u);
+                for v in g.vertices() {
+                    let in_prefix = bv.rank(v).is_some_and(|r| r < k);
+                    assert_eq!(
+                        sv.contains(v),
+                        in_prefix,
+                        "rank-derived level-{k} membership differs for ({u}, {v})"
+                    );
+                    if sv.contains(v) {
+                        assert_eq!(sv.rank(v), bv.rank(v), "rank changed between sizes");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn property_1_holds_with_tie_breaking() {
         // Property 1: v in B(u, l) and w on a shortest u-v path => v in B(w, l).
         let mut rng = StdRng::seed_from_u64(11);

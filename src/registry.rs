@@ -15,6 +15,9 @@
 //! | `tz3` | Thorup–Zwick `(4k−5)`, `k = 3` (stretch 7) | `routing-baselines` |
 //! | `exact` | full-table shortest-path routing (stretch 1) | `routing-baselines` |
 //! | `spanner` | full tables on a greedy 3-spanner | `routing-baselines` |
+//! | `thm13` | Theorem 13, multilevel `(3+2/ℓ+ε, 2)` at `ℓ = 2` | `routing-core` |
+//! | `thm15` | Theorem 15, multilevel `(3+2/ℓ+ε, 2)` at `ℓ = 4` | `routing-core` |
+//! | `thm16k3` | Theorem 16, `(4k−7+ε)` at `k = 3` | `routing-baselines` |
 //!
 //! Registering a new scheme costs one [`SchemeBuilder`] implementation and
 //! one [`SchemeRegistry::register`] call; every registry-driven binary
@@ -55,9 +58,10 @@
 //! # }
 //! ```
 
-use routing_baselines::{ExactBuilder, SpannerBuilder, TzBuilder};
+use routing_baselines::{ExactBuilder, SpannerBuilder, Thm16Builder, TzBuilder};
 use routing_core::{
-    BuildContext, BuildError, SchemeBuilder, Thm10Builder, Thm11Builder, WarmupBuilder,
+    BuildContext, BuildError, SchemeBuilder, Thm10Builder, Thm11Builder, Thm13Builder,
+    Thm15Builder, WarmupBuilder,
 };
 use routing_graph::Graph;
 use routing_model::DynScheme;
@@ -88,6 +92,11 @@ impl SchemeRegistry {
         r.register(Box::new(TzBuilder::new(3)));
         r.register(Box::new(ExactBuilder));
         r.register(Box::new(SpannerBuilder::default()));
+        // The Theorem 13/15/16 schemes are appended after the seed seven so
+        // artifact rows produced by older registries keep their positions.
+        r.register(Box::new(Thm13Builder));
+        r.register(Box::new(Thm15Builder));
+        r.register(Box::new(Thm16Builder::new(3)));
         r
     }
 
@@ -170,10 +179,14 @@ mod tests {
         let r = SchemeRegistry::with_defaults();
         assert_eq!(
             r.names(),
-            vec!["warmup", "thm10", "thm11", "tz2", "tz3", "exact", "spanner"]
+            vec![
+                "warmup", "thm10", "thm11", "tz2", "tz3", "exact", "spanner", "thm13", "thm15",
+                "thm16k3"
+            ]
         );
         assert!(r.contains("tz2"));
-        assert!(!r.contains("thm13"));
+        assert!(r.contains("thm13"));
+        assert!(!r.contains("thm14"));
         assert!(format!("{r:?}").contains("warmup"));
     }
 

@@ -150,7 +150,10 @@ fn registry_builds_route_and_honour_the_naming_invariant() {
     let registry = SchemeRegistry::with_defaults();
     assert_eq!(
         registry.names(),
-        vec!["warmup", "thm10", "thm11", "tz2", "tz3", "exact", "spanner"],
+        vec![
+            "warmup", "thm10", "thm11", "tz2", "tz3", "exact", "spanner", "thm13", "thm15",
+            "thm16k3"
+        ],
         "the CLI scheme names are a documented, ordered contract"
     );
 

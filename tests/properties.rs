@@ -612,6 +612,23 @@ proptest! {
                     &routing_baselines::SpannerScheme::build(&g, 2).unwrap(),
                     &pairs,
                 ),
+                "thm13" => assert_erasure_fidelity(
+                    &g,
+                    &routing_core::SchemeMultilevel::build(&g, 2, "thm13", &ctx.params, &mut rng)
+                        .unwrap(),
+                    &pairs,
+                ),
+                "thm15" => assert_erasure_fidelity(
+                    &g,
+                    &routing_core::SchemeMultilevel::build(&g, 4, "thm15", &ctx.params, &mut rng)
+                        .unwrap(),
+                    &pairs,
+                ),
+                "thm16k3" => assert_erasure_fidelity(
+                    &g,
+                    &routing_baselines::Thm16Scheme::build(&g, 3, &ctx.params, &mut rng).unwrap(),
+                    &pairs,
+                ),
                 other => panic!("registered scheme {other} has no typed twin in this test"),
             }
             // Finally, the registry-built (erased) scheme routes every
