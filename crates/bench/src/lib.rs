@@ -41,6 +41,18 @@
 //! `--json` output is the `BENCH_<pr>.json` artefact format; `BENCH_5.json`
 //! at the repository root is the first committed point of that trajectory.
 //!
+//! # The `serve` binary
+//!
+//! The `serve` binary benchmarks the `routing-serve` serving layer: it
+//! drives a sharded [`routing_serve::ShardedEngine`] with concurrent
+//! readers pulling Zipf-skewed batches while a writer hot-swaps rebuilt
+//! tables (epoch swaps) under the load, and reports aggregate + per-shard
+//! queries/second and p50/p99/p999 latency against a `single-thread`
+//! anchor row measured with the `perf` methodology in the same run.
+//! `BENCH_7.json` at the repository root is its committed artefact;
+//! `--verify` adds an equivalence + accounting self-check with a non-zero
+//! exit on failure (the CI smoke mode).
+//!
 //! # The `churn` binary
 //!
 //! Beyond the static Table 1 artefacts, the `churn` binary runs the

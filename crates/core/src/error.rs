@@ -60,6 +60,13 @@ impl From<ColoringError> for BuildError {
     }
 }
 
+// Build errors cross thread boundaries when a background rebuild worker
+// reports a failed preprocessing to the serving layer, so
+// `Send + Sync + 'static` is part of the contract — checked at compile
+// time, not merely by a test.
+const fn assert_send_sync_static<T: Send + Sync + 'static>() {}
+const _: () = assert_send_sync_static::<BuildError>();
+
 #[cfg(test)]
 mod tests {
     use super::*;

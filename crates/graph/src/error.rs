@@ -46,6 +46,12 @@ impl fmt::Display for GraphError {
 
 impl Error for GraphError {}
 
+// Graph errors can surface from rebuild workers on background threads in
+// the serving layer, so `Send + Sync + 'static` is part of the contract —
+// checked at compile time, not merely by a test.
+const fn assert_send_sync_static<T: Send + Sync + 'static>() {}
+const _: () = assert_send_sync_static::<GraphError>();
+
 #[cfg(test)]
 mod tests {
     use super::*;

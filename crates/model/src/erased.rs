@@ -52,7 +52,11 @@ pub struct ErasedLabel {
 
 impl ErasedLabel {
     /// Erases a typed label, recording its size in words.
-    pub fn new<L: Clone + 'static>(label: L, words: usize) -> Self {
+    ///
+    /// `Send + Sync` on the payload makes the erased label itself
+    /// `Send + Sync`, so the serving layer can erase a label on a
+    /// dispatcher thread and route with it on a shard thread.
+    pub fn new<L: Clone + Send + Sync + 'static>(label: L, words: usize) -> Self {
         ErasedLabel { inner: Box::new(label), words }
     }
 
@@ -92,7 +96,11 @@ pub struct ErasedHeader {
 
 impl ErasedHeader {
     /// Erases a typed header.
-    pub fn new<H: HeaderSize + 'static>(header: H) -> Self {
+    ///
+    /// `Send` on the payload lets a header travel with its message between
+    /// threads; headers are only ever mutated by one thread at a time, so
+    /// `Sync` is deliberately not required.
+    pub fn new<H: HeaderSize + Send + 'static>(header: H) -> Self {
         ErasedHeader { inner: Box::new(header) }
     }
 
@@ -129,7 +137,14 @@ impl std::fmt::Debug for ErasedHeader {
 /// `SchemeRegistry`) is a first-class citizen of every driver: the
 /// simulator, the evaluators, the stale-table walker and the churn
 /// experiment all consume `&dyn DynScheme`.
-pub trait DynScheme {
+///
+/// `Send + Sync` are supertraits: a built scheme is an immutable bundle of
+/// routing tables, and the serving layer (`routing-serve`) shares one
+/// `Arc<dyn DynScheme>` across every shard thread as a read-only snapshot —
+/// so shareability is part of the erased contract, not an opt-in. Every
+/// concrete scheme in the workspace holds only owned data (vectors, flat
+/// CSR tables), so the bounds cost nothing.
+pub trait DynScheme: Send + Sync {
     /// Scheme name; equals the scheme's registry key (see
     /// [`RoutingScheme::name`]).
     fn name(&self) -> &str;
@@ -181,8 +196,10 @@ impl std::fmt::Debug for dyn DynScheme + '_ {
 }
 
 /// The blanket adapter: every typed scheme is usable through the erased
-/// surface, with no per-scheme code.
-impl<S: RoutingScheme> DynScheme for S {
+/// surface, with no per-scheme code. The `Send + Sync` bound mirrors the
+/// supertraits of [`DynScheme`]; every scheme in the workspace satisfies it
+/// structurally (owned tables, no interior mutability).
+impl<S: RoutingScheme + Send + Sync> DynScheme for S {
     fn name(&self) -> &str {
         RoutingScheme::name(self)
     }
@@ -223,6 +240,15 @@ impl<S: RoutingScheme> DynScheme for S {
     }
 }
 
+// Compile-time proof of the serving-layer contract: erased values and
+// erased schemes cross shard boundaries. A regression on any of these
+// bounds fails the build of this crate, not a downstream user's.
+const fn assert_send_sync<T: Send + Sync + ?Sized>() {}
+const fn assert_send<T: Send + ?Sized>() {}
+const _: () = assert_send_sync::<ErasedLabel>();
+const _: () = assert_send::<ErasedHeader>();
+const _: () = assert_send_sync::<dyn DynScheme>();
+
 fn foreign_label(scheme: &str) -> RouteError {
     RouteError::BadLabel { what: format!("label was not produced by scheme {scheme}") }
 }
@@ -231,13 +257,14 @@ fn foreign_header(scheme: &str) -> RouteError {
     RouteError::BadLabel { what: format!("header was not produced by scheme {scheme}") }
 }
 
-/// `Any` + `Clone` for boxed label payloads.
-trait ClonableAny {
+/// `Any` + `Clone` for boxed label payloads. `Send + Sync` so erased labels
+/// can be shared with (and sent to) shard threads.
+trait ClonableAny: Send + Sync {
     fn as_any(&self) -> &dyn Any;
     fn clone_box(&self) -> Box<dyn ClonableAny>;
 }
 
-impl<T: Clone + 'static> ClonableAny for T {
+impl<T: Clone + Send + Sync + 'static> ClonableAny for T {
     fn as_any(&self) -> &dyn Any {
         self
     }
@@ -246,14 +273,15 @@ impl<T: Clone + 'static> ClonableAny for T {
     }
 }
 
-/// `Any` + live word accounting for boxed header payloads.
-trait SizedAny {
+/// `Any` + live word accounting for boxed header payloads. `Send` so a
+/// header can travel with its message across threads.
+trait SizedAny: Send {
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
     fn words(&self) -> usize;
 }
 
-impl<T: HeaderSize + 'static> SizedAny for T {
+impl<T: HeaderSize + Send + 'static> SizedAny for T {
     fn as_any(&self) -> &dyn Any {
         self
     }

@@ -66,6 +66,12 @@ impl fmt::Display for RouteError {
 
 impl Error for RouteError {}
 
+// Routing errors cross shard boundaries in the serving layer (a shard
+// worker reports them back over a channel), so `Send + Sync + 'static` is
+// part of the contract — checked at compile time, not merely by a test.
+const fn assert_send_sync_static<T: Send + Sync + 'static>() {}
+const _: () = assert_send_sync_static::<RouteError>();
+
 #[cfg(test)]
 mod tests {
     use super::*;

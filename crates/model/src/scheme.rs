@@ -46,12 +46,16 @@ pub trait RoutingScheme {
     /// The label attached to a destination (computed in preprocessing).
     ///
     /// `'static` so the label can cross the type-erased
-    /// [`crate::erased::DynScheme`] boundary (every label is owned data —
-    /// vertex ids, distances, tree words — so the bound costs nothing).
-    type Label: Clone + 'static;
-    /// The mutable header a message carries. `'static` for the same reason
-    /// as [`RoutingScheme::Label`].
-    type Header: Clone + HeaderSize + 'static;
+    /// [`crate::erased::DynScheme`] boundary, and `Send + Sync` so an erased
+    /// label can cross a *shard* boundary in the serving layer (a query
+    /// dispatcher erases labels on one thread and the owning shard consumes
+    /// them on another). Every label is owned data — vertex ids, distances,
+    /// tree words — so both bounds cost nothing.
+    type Label: Clone + Send + Sync + 'static;
+    /// The mutable header a message carries. `'static` and `Send` for the
+    /// same reasons as [`RoutingScheme::Label`] (headers are created and
+    /// mutated on one shard thread at a time, so `Sync` is not required).
+    type Header: Clone + HeaderSize + Send + 'static;
 
     /// Scheme name used in harness output.
     ///

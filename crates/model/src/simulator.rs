@@ -99,6 +99,100 @@ pub fn simulate_with_ttl(
     }
 }
 
+/// The result of routing one message without materializing the path — the
+/// serving layer's per-query answer shape.
+///
+/// Produced by [`simulate_lean`], which makes exactly the decision sequence
+/// of [`simulate_with_ttl`] but never allocates: on a query-serving hot path
+/// the path vector is the only per-query allocation left, and millions of
+/// queries per second pay for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeanOutcome {
+    /// Total weight of the traversed path.
+    pub weight: Weight,
+    /// Number of edges traversed.
+    pub hops: usize,
+    /// The largest header size (in `O(log n)`-bit words) observed while the
+    /// message was in flight.
+    pub max_header_words: usize,
+}
+
+/// Routes a message like [`simulate_with_ttl`] but without materializing
+/// the traversed path: same decision sequence, same errors, zero
+/// allocations beyond what the scheme itself does for the label and header.
+///
+/// The serving layer (`routing-serve`) uses this on its hot path; the
+/// equivalence with [`simulate_with_ttl`] (weight, hops, header words,
+/// errors) is pinned by a test in this module and re-checked per scheme by
+/// the serve equivalence suite.
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_lean(
+    g: &Graph,
+    scheme: &dyn DynScheme,
+    source: VertexId,
+    dest: VertexId,
+    max_hops: usize,
+) -> Result<LeanOutcome, RouteError> {
+    let label = scheme.label_of(dest);
+    simulate_lean_with_label(g, scheme, source, dest, &label, max_hops)
+}
+
+/// [`simulate_lean`] with a caller-supplied erased label, so a batch of
+/// queries towards the same destination erases the label once (the batched
+/// query API of the serving layer sorts and caches labels per batch).
+///
+/// `label` must be `scheme.label_of(dest)`; a label for a different vertex
+/// routes to that vertex and is then reported as
+/// [`RouteError::DeliveredAtWrongVertex`].
+///
+/// # Errors
+///
+/// Same conditions as [`simulate`].
+pub fn simulate_lean_with_label(
+    g: &Graph,
+    scheme: &dyn DynScheme,
+    source: VertexId,
+    dest: VertexId,
+    label: &crate::erased::ErasedLabel,
+    max_hops: usize,
+) -> Result<LeanOutcome, RouteError> {
+    let mut header = scheme.init_header(source, label)?;
+    let mut at = source;
+    let mut weight: Weight = 0;
+    let mut hops = 0usize;
+    let mut max_header_words = header.words();
+
+    loop {
+        match scheme.decide(at, &mut header, label)? {
+            Decision::Deliver => {
+                if at != dest {
+                    return Err(RouteError::DeliveredAtWrongVertex { at, destination: dest });
+                }
+                return Ok(LeanOutcome { weight, hops, max_header_words });
+            }
+            Decision::Forward(port) => {
+                // Mirrors simulate_with_ttl's `path.len() > max_hops` check
+                // (path.len() == hops + 1) so both variants fail the same
+                // query at the same hop.
+                if hops + 1 > max_hops {
+                    return Err(RouteError::HopBudgetExceeded { budget: max_hops });
+                }
+                if port.index() >= g.degree(at) {
+                    return Err(RouteError::InvalidPort { at, port: port.0 });
+                }
+                let edge = g.neighbor_at(at, port);
+                weight += edge.weight;
+                at = edge.to;
+                hops += 1;
+                max_header_words = max_header_words.max(header.words());
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -181,6 +275,27 @@ mod tests {
         fn label_words(&self, _v: VertexId) -> usize {
             1
         }
+    }
+
+    #[test]
+    fn lean_simulation_matches_the_full_simulator() {
+        let g = generators::grid(4, 4);
+        let s = FullTableScheme::new(&g);
+        let ttl = 4 * g.n() + 16;
+        for u in g.vertices() {
+            for v in g.vertices() {
+                let full = simulate_with_ttl(&g, &s, u, v, ttl).unwrap();
+                let lean = simulate_lean(&g, &s, u, v, ttl).unwrap();
+                assert_eq!(lean.weight, full.weight);
+                assert_eq!(lean.hops, full.hops);
+                assert_eq!(lean.max_header_words, full.max_header_words);
+            }
+        }
+        // Both variants fail identically at the same hop budget.
+        let cyc = generators::cycle(3);
+        let full = simulate_with_ttl(&cyc, &LoopScheme, VertexId(0), VertexId(2), 10).unwrap_err();
+        let lean = simulate_lean(&cyc, &LoopScheme, VertexId(0), VertexId(2), 10).unwrap_err();
+        assert_eq!(full, lean);
     }
 
     #[test]

@@ -1,0 +1,198 @@
+//! A seeded, Zipf-skewed query load generator.
+//!
+//! Real routing traffic is not uniform: a few vertices (popular services,
+//! gateways) originate and receive a super-proportional share of queries.
+//! The [`ZipfWorkload`] models that with a Zipf(`s`) distribution over a
+//! seeded random *rank permutation* of the vertex space — which vertex is
+//! "hot" is itself part of the seed, so two generators with the same
+//! `(n, s, seed)` produce byte-identical query streams while different
+//! seeds skew different vertices. Sources and destinations are independent
+//! draws from the same skewed distribution (redrawn until distinct —
+//! self-queries tell nothing about routing); skewed destinations are what
+//! the engine's per-batch label cache exploits, since a batch sorted by
+//! destination then contains long runs towards the hot vertices.
+//!
+//! Sampling is a binary search over the cumulative weight table: `O(log n)`
+//! per query, no floating-point accumulation at sample time, fully
+//! deterministic given the seed.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use routing_graph::VertexId;
+
+/// A deterministic stream of `(source, destination)` query pairs with
+/// Zipf-skewed sources.
+#[derive(Debug, Clone)]
+pub struct ZipfWorkload {
+    /// `rank_to_vertex[r]` = the vertex holding popularity rank `r`
+    /// (rank 0 is the hottest).
+    rank_to_vertex: Vec<u32>,
+    /// `cumulative[r]` = sum of `1/(k+1)^s` for `k <= r`, pre-normalized.
+    cumulative: Vec<f64>,
+    rng: StdRng,
+    n: usize,
+}
+
+impl ZipfWorkload {
+    /// A workload over `n` vertices with Zipf exponent `s` for both
+    /// endpoints (use `0.0` for uniform, `~0.99` for web-like skew), fully
+    /// determined by `seed`.
+    ///
+    /// # Panics
+    ///
+    /// When `n < 2` (a query needs two distinct vertices) or `s` is not
+    /// finite.
+    pub fn new(n: usize, s: f64, seed: u64) -> Self {
+        assert!(n >= 2, "a workload needs at least two vertices, got {n}");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0, got {s}");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rank_to_vertex: Vec<u32> = (0..n as u32).collect();
+        rank_to_vertex.shuffle(&mut rng);
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0f64;
+        for r in 0..n {
+            acc += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(acc);
+        }
+        let total = acc;
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard the binary search against the last entry rounding below 1.
+        *cumulative.last_mut().expect("n >= 2") = 1.0;
+        ZipfWorkload { rank_to_vertex, cumulative, rng, n }
+    }
+
+    /// Number of vertices the workload draws from.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The vertex holding popularity rank `r` (rank 0 is hottest). Exposed
+    /// so tests and benches can check which sources carry the skew.
+    pub fn vertex_at_rank(&self, r: usize) -> VertexId {
+        VertexId(self.rank_to_vertex[r])
+    }
+
+    /// Draws the next query pair: a Zipf-ranked source and an
+    /// independently Zipf-ranked destination, redrawn until distinct.
+    pub fn next_pair(&mut self) -> (VertexId, VertexId) {
+        let source = self.draw();
+        loop {
+            let dest = self.draw();
+            if dest != source {
+                return (VertexId(source), VertexId(dest));
+            }
+        }
+    }
+
+    /// One Zipf draw: invert the cumulative table by binary search.
+    fn draw(&mut self) -> u32 {
+        let u = self.rng.gen_range(0.0..1.0f64);
+        let rank = self.cumulative.partition_point(|&c| c < u).min(self.n - 1);
+        self.rank_to_vertex[rank]
+    }
+
+    /// Draws a batch of `len` pairs (exactly `len` calls to
+    /// [`ZipfWorkload::next_pair`], in order).
+    pub fn next_batch(&mut self, len: usize) -> Vec<(VertexId, VertexId)> {
+        (0..len).map(|_| self.next_pair()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = ZipfWorkload::new(500, 0.99, 42);
+        let mut b = ZipfWorkload::new(500, 0.99, 42);
+        assert_eq!(a.next_batch(2000), b.next_batch(2000));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = ZipfWorkload::new(500, 0.99, 42);
+        let mut b = ZipfWorkload::new(500, 0.99, 43);
+        assert_ne!(a.next_batch(2000), b.next_batch(2000));
+        // And the hot vertex itself moves with the seed (the rank
+        // permutation is seeded, not fixed).
+        let hot: Vec<VertexId> = (42..52)
+            .map(|seed| ZipfWorkload::new(500, 0.99, seed).vertex_at_rank(0))
+            .collect();
+        assert!(hot.iter().any(|&v| v != hot[0]), "hot vertex never moved across 10 seeds");
+    }
+
+    #[test]
+    fn pairs_are_in_range_and_distinct() {
+        let mut w = ZipfWorkload::new(100, 1.1, 7);
+        for _ in 0..5000 {
+            let (s, d) = w.next_pair();
+            assert!(s.index() < 100 && d.index() < 100);
+            assert_ne!(s, d);
+        }
+    }
+
+    #[test]
+    fn top_sources_carry_a_super_proportional_share() {
+        let n = 1000;
+        let mut w = ZipfWorkload::new(n, 0.99, 11);
+        let mut counts: HashMap<VertexId, u64> = HashMap::new();
+        let draws = 50_000u64;
+        for _ in 0..draws {
+            let (s, _) = w.next_pair();
+            *counts.entry(s).or_default() += 1;
+        }
+        // The top 1% of vertices by rank should carry far more than 1% of
+        // the load — for Zipf(0.99) over n=1000 the first 10 ranks carry
+        // ~39% of the mass.
+        let top: u64 =
+            (0..n / 100).map(|r| counts.get(&w.vertex_at_rank(r)).copied().unwrap_or(0)).sum();
+        let share = top as f64 / draws as f64;
+        assert!(share > 0.25, "top 1% of sources carry {share:.3} of the load, expected > 0.25");
+    }
+
+    #[test]
+    fn destinations_are_skewed_too() {
+        // Destination skew is what makes the engine's per-batch label cache
+        // pay off: a dest-sorted batch must contain repeated destinations.
+        let n = 1000;
+        let mut w = ZipfWorkload::new(n, 0.99, 5);
+        let batch = w.next_batch(512);
+        let mut dests: Vec<VertexId> = batch.iter().map(|&(_, d)| d).collect();
+        dests.sort_unstable();
+        dests.dedup();
+        assert!(
+            dests.len() < 400,
+            "512 Zipf destinations over n=1000 hit {} distinct vertices — no reuse",
+            dests.len()
+        );
+    }
+
+    #[test]
+    fn zero_exponent_is_uniform() {
+        let n = 50;
+        let mut w = ZipfWorkload::new(n, 0.0, 3);
+        let mut counts = vec![0u64; n];
+        let draws = 50_000;
+        for _ in 0..draws {
+            counts[w.next_pair().0.index()] += 1;
+        }
+        let expected = draws as f64 / n as f64;
+        for (v, &c) in counts.iter().enumerate() {
+            assert!(
+                (c as f64) > expected * 0.6 && (c as f64) < expected * 1.4,
+                "vertex {v} drawn {c} times, expected ~{expected}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two vertices")]
+    fn tiny_vertex_spaces_are_rejected() {
+        let _ = ZipfWorkload::new(1, 1.0, 0);
+    }
+}

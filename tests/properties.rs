@@ -206,7 +206,7 @@ static THREADS_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
 /// documents: parallelism changes wall-clock only, never what gets built.
 fn assert_threads_invariant<S, F>(g: &Graph, build: F)
 where
-    S: routing_model::RoutingScheme,
+    S: routing_model::RoutingScheme + Send + Sync,
     F: Fn() -> S,
 {
     routing_par::set_threads(1);
@@ -478,7 +478,7 @@ proptest! {
 /// asserting identical decisions, identical header words at every hop, and
 /// the same delivered weight. Also checks the per-vertex word accounting
 /// and the label word count the erased label carries.
-fn assert_erasure_fidelity<S: routing_model::RoutingScheme>(
+fn assert_erasure_fidelity<S: routing_model::RoutingScheme + Send + Sync>(
     g: &Graph,
     scheme: &S,
     pairs: &[(VertexId, VertexId)],
