@@ -50,6 +50,7 @@ impl ExactScheme {
         // Column v of the table comes from the tree rooted at v: the parent
         // of u in that tree is the next hop on a shortest path from u to v.
         // One reused search workspace per worker thread.
+        let span_cols = routing_obs::span("dijkstra-columns");
         let columns: Vec<Vec<Option<Port>>> = routing_par::par_map_scratch(
             n,
             || SearchScratch::for_graph(g),
@@ -67,6 +68,8 @@ impl ExactScheme {
                     .collect()
             },
         );
+        drop(span_cols);
+        let _span_next = routing_obs::span("next-table");
         let mut next = vec![vec![None; n]; n];
         for (v, column) in columns.into_iter().enumerate() {
             for u in 0..n {

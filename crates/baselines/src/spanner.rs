@@ -113,10 +113,13 @@ impl SpannerScheme {
             });
         }
         let n = g.n();
+        let span_greedy = routing_obs::span("greedy-spanner");
         let spanner = greedy_spanner(g, k);
+        drop(span_greedy);
         // Column v comes from the spanner tree rooted at v; the parent edge
         // exists in g (the spanner's edges are a subset), so it has a port.
         // One reused search workspace per worker thread.
+        let span_cols = routing_obs::span("dijkstra-columns");
         let columns: Vec<Vec<Option<Port>>> = routing_par::par_map_scratch(
             n,
             || SearchScratch::for_graph(&spanner),
@@ -134,6 +137,8 @@ impl SpannerScheme {
                     .collect()
             },
         );
+        drop(span_cols);
+        let _span_next = routing_obs::span("next-table");
         let mut next = vec![vec![None; n]; n];
         for (v, column) in columns.into_iter().enumerate() {
             for (u, port) in column.into_iter().enumerate() {

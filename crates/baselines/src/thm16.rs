@@ -123,7 +123,9 @@ impl Thm16Scheme {
     ) -> Result<Self, BuildError> {
         params.validate().map_err(|what| BuildError::BadParameter { what })?;
         let hierarchy = TzHierarchy::build(g, k, rng)?;
+        let span_bunches = routing_obs::span("bunches");
         let bunch = FlatBunches::new(hierarchy.bunches_raw());
+        drop(span_bunches);
         let balls = BallTable::build(g, vicinity_size(k, g.n(), params));
         Ok(Thm16Scheme {
             name: format!("thm16k{k}"),
@@ -183,11 +185,13 @@ impl RoutingScheme for Thm16Scheme {
     fn init_header(&self, source: VertexId, dest: &Thm16Label) -> Result<Thm16Header, RouteError> {
         let v = dest.vertex;
         if source == v || self.balls.contains(source, v) {
+            routing_obs::counters::ROUTING_PHASE_DIRECT.inc();
             return Ok(Thm16Header { phase: Phase::Direct });
         }
         // v in the source's own cluster: T(source) is a shortest-path tree
         // from the source, so this hop is exact.
         if let Some(label) = self.hierarchy.cluster_tree(source).label(v) {
+            routing_obs::counters::ROUTING_PHASE_TREE.inc();
             return Ok(Thm16Header { phase: Phase::Tree { root: source, label: label.clone() } });
         }
         // Cost every reachable pivot of v and take the cheapest; ties go to
@@ -215,11 +219,16 @@ impl RoutingScheme for Thm16Scheme {
             }
         }
         // p_{k−1}(v) ∈ A_{k−1} lies in every bunch, so a candidate exists.
-        best.map(|(_, phase)| Thm16Header { phase }).ok_or_else(|| {
-            RouteError::MissingInformation {
-                at: source,
-                what: format!("no pivot of {v} is reachable from {source}"),
+        best.map(|(_, phase)| {
+            match phase {
+                Phase::ToPivot { .. } => routing_obs::counters::ROUTING_PHASE_TO_PIVOT.inc(),
+                _ => routing_obs::counters::ROUTING_PHASE_TREE.inc(),
             }
+            Thm16Header { phase }
+        })
+        .ok_or_else(|| RouteError::MissingInformation {
+            at: source,
+            what: format!("no pivot of {v} is reachable from {source}"),
         })
     }
 

@@ -99,6 +99,7 @@ impl TzHierarchy {
         let p = (n as f64).powf(-1.0 / k as f64);
 
         // Levels.
+        let span_levels = routing_obs::span("levels");
         let mut levels: Vec<Vec<VertexId>> = Vec::with_capacity(k);
         levels.push(g.vertices().collect());
         let s1 = ((n as f64).powf(1.0 - 1.0 / k as f64).ceil() as usize).clamp(1, n);
@@ -119,8 +120,10 @@ impl TzHierarchy {
                 level_of[v.index()] = level_of[v.index()].max(i);
             }
         }
+        drop(span_levels);
 
         // Pivots per level.
+        let span_pivots = routing_obs::span("pivots");
         let mut pivots: Vec<Vec<(VertexId, Weight)>> = Vec::with_capacity(k);
         pivots.push(g.vertices().map(|v| (v, 0)).collect());
         for level in levels.iter().skip(1) {
@@ -147,6 +150,8 @@ impl TzHierarchy {
         // one heavy-path decomposition per vertex — the dominant cost of the
         // build — fanned out in parallel; the bunch inversion below merges in
         // ascending `w` order, so the hierarchy is thread-count independent.
+        drop(span_pivots);
+        let _span_ct = routing_obs::span("cluster-trees");
         let per_w: Vec<(Vec<(VertexId, Weight)>, TreeScheme)> = routing_par::par_map_scratch(
             n,
             || (SearchScratch::for_graph(g), vec![INFINITY; n]),
@@ -384,6 +389,7 @@ pub struct TzRoutingScheme {
 impl TzRoutingScheme {
     /// Builds the scheme on top of an existing hierarchy.
     pub fn new(hierarchy: TzHierarchy) -> Self {
+        let _span = routing_obs::span("bunches");
         let bunch_set = FlatBunches::new(&hierarchy.bunches);
         TzRoutingScheme { name: format!("tz{}", hierarchy.k()), hierarchy, bunch_set }
     }
@@ -441,11 +447,13 @@ impl RoutingScheme for TzRoutingScheme {
     fn init_header(&self, source: VertexId, dest: &TzLabel) -> Result<TzHeader, RouteError> {
         let v = dest.vertex;
         if source == v {
+            routing_obs::counters::ROUTING_PHASE_DIRECT.inc();
             return Ok(TzHeader { root: v, label: TreeLabel { tin: 0, light_ports: Vec::new() } });
         }
         // 4k-5 improvement: if v is in the source's own cluster, route on the
         // source's cluster tree with the label stored at the source.
         if let Some(label) = self.hierarchy.cluster_tree(source).label(v) {
+            routing_obs::counters::ROUTING_PHASE_TREE.inc();
             return Ok(TzHeader { root: source, label: label.clone() });
         }
         for i in 0..self.hierarchy.k() {
@@ -457,6 +465,7 @@ impl RoutingScheme for TzRoutingScheme {
                         what: format!("{v} has no label in the cluster tree of pivot {w}"),
                     });
                 }
+                routing_obs::counters::ROUTING_PHASE_TREE.inc();
                 return Ok(TzHeader { root: w, label });
             }
         }

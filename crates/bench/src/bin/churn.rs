@@ -36,6 +36,7 @@
 //! | `--modes <LIST>` | `random,targeted` | comma list of `random`, `targeted`, `degree-weighted` |
 //! | `--policies <LIST>` | `never,every-2,threshold-0.9` | comma list of `never`, `every-round`, `every-<k>`, `threshold-<x>` |
 //! | `--json <PATH>` | — | also write every run as a JSON array of `ChurnRunResult` |
+//! | `--metrics <PATH>` | — | enable telemetry counters and write a JSON metric export (failure-class counters, rebuild timing histogram, run aggregates) |
 //! | `--help` | — | print this table |
 //!
 //! # Output schema (`--json`)
@@ -75,6 +76,7 @@ struct Options {
     modes: Vec<RemovalMode>,
     policies: Vec<RebuildPolicy>,
     json: Option<String>,
+    metrics: Option<String>,
 }
 
 impl Default for Options {
@@ -100,6 +102,7 @@ impl Default for Options {
                 RebuildPolicy::ReachabilityBelow(0.9),
             ],
             json: None,
+            metrics: None,
         }
     }
 }
@@ -135,6 +138,8 @@ OPTIONS:
   --policies <LIST>       never,every-round,every-<k>,threshold-<x>
                                                                 [default: never,every-2,threshold-0.9]
   --json <PATH>           write all runs as a JSON array
+  --metrics <PATH>        enable telemetry counters; write a JSON
+                          metric export (failure classes, timings)
   --help                  show this help"
     );
 }
@@ -209,6 +214,7 @@ fn parse_options(registry: &SchemeRegistry) -> Options {
                 )
             }
             "--json" => opts.json = Some(value),
+            "--metrics" => opts.metrics = Some(value),
             _ => cli::die(CliError::UnknownFlag { flag }, usage),
         }
     }
@@ -288,6 +294,11 @@ fn print_summary(results: &[ChurnRunResult]) {
 fn main() {
     let registry = SchemeRegistry::with_defaults();
     let opts = parse_options(&registry);
+    if opts.metrics.is_some() {
+        // The stale-routing simulator mirrors every failure class into the
+        // churn_fail_* counters; the flag turns those mirrors on.
+        routing_obs::set_metrics(true);
+    }
     let threads =
         if opts.threads == 0 { routing_par::available_threads() } else { opts.threads };
     routing_par::set_threads(threads);
@@ -360,5 +371,47 @@ fn main() {
             },
             Err(e) => eprintln!("could not serialize results: {e}"),
         }
+    }
+
+    if let Some(path) = &opts.metrics {
+        write_metrics(path, &results);
+    }
+}
+
+/// Exports the run's telemetry as a JSON metric object: the well-known
+/// counters (the `churn_fail_*` failure classes fired by the stale-routing
+/// simulator), run-level aggregates, and a histogram of per-event rebuild
+/// wall-clock so the cost of each policy's repair work is visible as a
+/// distribution, not just a sum.
+fn write_metrics(path: &str, results: &[ChurnRunResult]) {
+    let mut set = routing_obs::MetricSet::gather();
+    let mut rebuild_us = routing_obs::latency::LatencyHistogram::new();
+    let mut build_ms_total = 0.0;
+    let mut rebuild_ms_total = 0.0;
+    let (mut rounds, mut rebuilds, mut pairs, mut delivered) = (0u64, 0u64, 0u64, 0u64);
+    for r in results {
+        build_ms_total += r.build_ms;
+        for round in &r.rounds {
+            rounds += 1;
+            pairs += round.stale.pairs as u64;
+            delivered += round.stale.delivered as u64;
+            if round.rebuilt {
+                rebuilds += 1;
+                rebuild_ms_total += round.rebuild_ms;
+                rebuild_us.record((round.rebuild_ms * 1e3) as u64);
+            }
+        }
+    }
+    set.counter("churn_runs_total", "scheme x mode x policy runs completed", results.len() as u64);
+    set.counter("churn_rounds_total", "churn rounds simulated across all runs", rounds);
+    set.counter("churn_rebuilds_total", "policy-triggered rebuilds across all runs", rebuilds);
+    set.counter("churn_stale_pairs_total", "pairs routed through stale tables", pairs);
+    set.counter("churn_stale_delivered_total", "stale-routed pairs delivered correctly", delivered);
+    set.gauge("churn_build_ms_total", "initial preprocessing wall-clock summed over runs", build_ms_total);
+    set.gauge("churn_rebuild_ms_total", "rebuild wall-clock summed over all triggered rebuilds", rebuild_ms_total);
+    set.histogram("churn_rebuild_us", "per-rebuild wall-clock, microseconds", &rebuild_us);
+    match std::fs::write(path, routing_obs::export::json(&set)) {
+        Ok(()) => eprintln!("wrote {} metric series to {path}", set.len()),
+        Err(e) => eprintln!("could not write {path}: {e}"),
     }
 }

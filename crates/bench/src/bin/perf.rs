@@ -104,6 +104,19 @@ struct Row {
     route_ms: Option<f64>,
     /// Routed queries per second (scheme rows).
     queries_per_sec: Option<f64>,
+    /// Top-level build phases from the span profiler (scheme rows): name and
+    /// wall-clock of every root span recorded during preprocessing.
+    phases: Option<Vec<PhaseMs>>,
+    /// `sum(phases) / build_ms` — how much of the build wall-clock the
+    /// instrumented phases account for (scheme rows).
+    phase_coverage: Option<f64>,
+}
+
+/// One top-level build phase of a scheme row.
+#[derive(Debug, Clone, Serialize)]
+struct PhaseMs {
+    name: String,
+    ms: f64,
 }
 
 fn usage() -> ! {
@@ -233,6 +246,8 @@ fn measure_ball_kernel(g: &Graph, ell: usize) -> Row {
         queries: None,
         route_ms: None,
         queries_per_sec: None,
+        phases: None,
+        phase_coverage: None,
     }
 }
 
@@ -247,15 +262,32 @@ fn measure_scheme(
     queries: usize,
     seed: u64,
 ) -> Option<Row> {
+    // Profile the build only: the span profiler is enabled around the
+    // registry call and switched off before the query loop, so the routed
+    // QPS below is measured with telemetry fully disabled.
+    routing_obs::reset();
+    routing_obs::set_profiling(true);
     let t = Instant::now();
     let scheme = match registry.build(key, g, ctx) {
         Ok(s) => s,
         Err(e) => {
+            routing_obs::set_profiling(false);
             eprintln!("build failed: scheme={key}: {e}");
             return None;
         }
     };
     let build_ms = t.elapsed().as_secs_f64() * 1e3;
+    routing_obs::set_profiling(false);
+    let forest = routing_obs::report();
+    let phases: Vec<PhaseMs> = forest
+        .iter()
+        .map(|root| PhaseMs { name: root.name.to_string(), ms: root.total_ms() })
+        .collect();
+    let phase_coverage = phases.iter().map(|p| p.ms).sum::<f64>() / build_ms.max(1e-9);
+    // Full tree (with sub-phases like technique1's hitting-set / global-trees
+    // / sequences) to stderr; the stdout table and the JSON rows carry the
+    // root phases only.
+    eprint!("span tree for {key} @ n={}:\n{}", g.n(), routing_obs::export::spans_text(&forest));
 
     let ids: Vec<VertexId> = g.vertices().collect();
     let mut pair_rng = StdRng::seed_from_u64(seed ^ 0x9e7f);
@@ -280,6 +312,8 @@ fn measure_scheme(
         queries: Some(pairs.len()),
         route_ms: Some(route_ms),
         queries_per_sec: Some(pairs.len() as f64 / (route_ms / 1e3).max(1e-9)),
+        phases: Some(phases),
+        phase_coverage: Some(phase_coverage),
     })
 }
 
@@ -294,14 +328,22 @@ fn print_row(r: &Row) {
             r.speedup.unwrap_or(0.0),
             if r.identical == Some(true) { "yes" } else { "NO" },
         ),
-        _ => println!(
-            "{:>6} {:<12} {:>10.0} {:>10.0} {:>8.0}/s",
-            r.n,
-            r.scheme.as_deref().unwrap_or("?"),
-            r.build_ms,
-            r.route_ms.unwrap_or(0.0),
-            r.queries_per_sec.unwrap_or(0.0),
-        ),
+        _ => {
+            println!(
+                "{:>6} {:<12} {:>10.0} {:>10.0} {:>8.0}/s",
+                r.n,
+                r.scheme.as_deref().unwrap_or("?"),
+                r.build_ms,
+                r.route_ms.unwrap_or(0.0),
+                r.queries_per_sec.unwrap_or(0.0),
+            );
+            if let Some(phases) = &r.phases {
+                let mut parts: Vec<String> =
+                    phases.iter().map(|p| format!("{} {:.0}ms", p.name, p.ms)).collect();
+                parts.push(format!("[{:.0}% covered]", r.phase_coverage.unwrap_or(0.0) * 100.0));
+                println!("       phases: {}", parts.join(", "));
+            }
+        }
     }
 }
 

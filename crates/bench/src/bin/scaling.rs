@@ -115,6 +115,19 @@ struct Row {
     stretch_mean: f64,
     /// Max multiplicative stretch over the sampled pairs.
     stretch_max: f64,
+    /// Per-phase wall-clock of the **parallel** build, from the
+    /// `routing-obs` span profiler (worker spans merged through the
+    /// `routing-par` hooks), sorted by phase name.
+    phases: Vec<PhaseMs>,
+    /// `Σ phases / build_par_ms` — how much of the build the spans explain.
+    phase_coverage: f64,
+}
+
+/// One named preprocessing phase and its wall-clock share.
+#[derive(Debug, Clone, Serialize)]
+struct PhaseMs {
+    name: String,
+    ms: f64,
 }
 
 fn usage() -> ! {
@@ -214,16 +227,29 @@ fn measure(
     };
     let build_seq_ms = t.elapsed().as_secs_f64() * 1e3;
 
+    // Profile only the parallel build: its per-phase breakdown is the one
+    // that shows where the speedup column comes from, and the span forest is
+    // merged deterministically across workers so the phases are comparable
+    // between thread counts anyway.
     let par_ctx = BuildContext { threads, ..*ctx };
+    routing_obs::reset();
+    routing_obs::set_profiling(true);
     let t = Instant::now();
     let par = match registry.build(key, g, &par_ctx) {
         Ok(s) => s,
         Err(e) => {
+            routing_obs::set_profiling(false);
             eprintln!("build failed: scheme={key}: {e}");
             return None;
         }
     };
     let build_par_ms = t.elapsed().as_secs_f64() * 1e3;
+    routing_obs::set_profiling(false);
+    let phases: Vec<PhaseMs> = routing_obs::report()
+        .iter()
+        .map(|root| PhaseMs { name: root.name.to_string(), ms: root.total_ms() })
+        .collect();
+    let phase_coverage = phases.iter().map(|p| p.ms).sum::<f64>() / build_par_ms.max(1e-9);
 
     // Identity check: parallelism must not change the scheme. Schemes do not
     // expose raw table bytes, so compare everything observable — per-vertex
@@ -257,6 +283,8 @@ fn measure(
         normalized: par_eval.table.max() as f64 / (g.n() as f64).powf(exponent),
         stretch_mean: par_eval.stretch.mean_multiplicative().unwrap_or(1.0),
         stretch_max: par_eval.stretch.max_multiplicative().unwrap_or(1.0),
+        phases,
+        phase_coverage,
     })
 }
 
@@ -274,6 +302,15 @@ fn print_row(r: &Row) {
         r.stretch_mean,
         r.stretch_max,
     );
+    if !r.phases.is_empty() {
+        let parts: Vec<String> =
+            r.phases.iter().map(|p| format!("{} {:.0}ms", p.name, p.ms)).collect();
+        println!(
+            "       phases: {}, [{:.0}% covered]",
+            parts.join(", "),
+            100.0 * r.phase_coverage
+        );
+    }
 }
 
 fn main() {

@@ -40,6 +40,7 @@
 //! | `--seed <S>` | `13` | master seed |
 //! | `--reps <R>` | `3` | repetitions per configuration (best-of, damps machine noise) |
 //! | `--json <PATH>` | — | write every row as a JSON array (`BENCH_7.json`) |
+//! | `--metrics <PATH>` | — | enable telemetry counters; write Prometheus text exposition at exit |
 //! | `--verify` | off | equivalence + accounting self-check, non-zero exit on failure |
 //! | `--help` | — | print this table |
 //!
@@ -73,6 +74,7 @@ struct Options {
     seed: u64,
     reps: usize,
     json: Option<String>,
+    metrics: Option<String>,
     verify: bool,
 }
 
@@ -91,6 +93,7 @@ impl Default for Options {
             seed: 13,
             reps: 3,
             json: None,
+            metrics: None,
             verify: false,
         }
     }
@@ -164,6 +167,8 @@ OPTIONS:
   --seed <S>              master seed                            [default: 13]
   --reps <R>              repetitions per config (best-of)       [default: 3]
   --json <PATH>           write all rows as a JSON array
+  --metrics <PATH>        enable the telemetry counters and write a Prometheus
+                          text exposition of every metric at end of run
   --verify                equivalence + accounting self-check (non-zero exit on failure)
   --help                  show this help"
     );
@@ -229,6 +234,7 @@ fn parse_options(registry: &SchemeRegistry) -> Options {
                     cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
             }
             "--json" => opts.json = Some(value),
+            "--metrics" => opts.metrics = Some(value),
             _ => cli::die(CliError::UnknownFlag { flag }, usage),
         }
     }
@@ -282,15 +288,16 @@ fn measure_single_thread(g: &Graph, scheme: &dyn DynScheme, opts: &Options) -> R
 }
 
 /// One serve row: drive the engine with concurrent readers and a swapping
-/// writer, then read per-shard stats back. Returns the row and whether the
-/// `--verify` checks passed (always true when not verifying).
+/// writer, then read per-shard stats back. Returns the row, whether the
+/// `--verify` checks passed (always true when not verifying), and the
+/// merged per-query latency histogram (for the `--metrics` exposition).
 fn measure_serve(
     g: &Arc<Graph>,
     scheme: &Arc<dyn DynScheme>,
     alt: &Arc<dyn DynScheme>,
     shards: usize,
     opts: &Options,
-) -> (Row, bool) {
+) -> (Row, bool, LatencyHistogram) {
     let engine = Arc::new(
         ShardedEngine::new(Arc::clone(g), Arc::clone(scheme), EngineConfig::with_shards(shards))
             .expect("snapshot matches the graph"),
@@ -412,7 +419,7 @@ fn measure_serve(
         per_shard_qps: Some(per_shard_qps),
         verified: if opts.verify { Some(ok) } else { None },
     };
-    (row, ok)
+    (row, ok, aggregate)
 }
 
 fn print_row(r: &Row) {
@@ -438,6 +445,11 @@ fn print_row(r: &Row) {
 fn main() {
     let registry = SchemeRegistry::with_defaults();
     let opts = parse_options(&registry);
+    if opts.metrics.is_some() {
+        // Counters stay one relaxed load when this is off; --metrics opts
+        // into the real increments for the whole run.
+        routing_obs::set_metrics(true);
+    }
 
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let g = Arc::new(opts.family.generate(
@@ -485,11 +497,13 @@ fn main() {
 
     let mut rows = vec![anchor.clone()];
     let mut all_ok = true;
+    let mut merged_latency = LatencyHistogram::new();
     for &shards in &opts.shards {
         let mut best: Option<Row> = None;
         for _ in 0..opts.reps {
-            let (row, ok) = measure_serve(&g, &scheme, &alt, shards.max(1), &opts);
+            let (row, ok, latency) = measure_serve(&g, &scheme, &alt, shards.max(1), &opts);
             all_ok &= ok;
+            merged_latency.merge(&latency);
             if best.as_ref().is_none_or(|b| row.queries_per_sec > b.queries_per_sec) {
                 best = Some(row);
             }
@@ -504,6 +518,31 @@ fn main() {
         let json = serde_json::to_string_pretty(&rows).expect("rows serialize");
         std::fs::write(path, json + "\n").expect("write json output");
         eprintln!("wrote {} rows to {path}", rows.len());
+    }
+
+    if let Some(path) = &opts.metrics {
+        // Every registered counter (zeros included, so the series set is
+        // stable for scrapers), plus this run's throughput gauges and the
+        // merged latency histogram.
+        let mut set = routing_obs::MetricSet::gather();
+        let best_qps = rows
+            .iter()
+            .filter(|r| r.kind == "serve")
+            .map(|r| r.queries_per_sec)
+            .fold(0.0f64, f64::max);
+        set.gauge("serve_qps", "best aggregate routed queries per second across serve rows", best_qps);
+        set.gauge(
+            "serve_single_thread_qps",
+            "anchor row: direct simulate loop, queries per second",
+            anchor.queries_per_sec,
+        );
+        set.histogram(
+            "serve_latency_ns",
+            "per-query latency under load, all serve repetitions merged",
+            &merged_latency,
+        );
+        std::fs::write(path, routing_obs::export::prometheus(&set)).expect("write metrics output");
+        eprintln!("wrote {} metric series to {path}", set.len());
     }
 
     if !all_ok {

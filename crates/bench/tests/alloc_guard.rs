@@ -1,0 +1,128 @@
+//! Telemetry overhead guard: with profiling and metrics disabled (the
+//! default state of every binary that doesn't pass `--metrics`), the
+//! instrumentation compiled into the hot paths must cost **zero heap
+//! allocations** — a disabled `span()` is one relaxed load returning an
+//! inert guard, and a disabled `Counter::inc` is a load and a branch.
+//!
+//! The guard counts allocations through a wrapping `#[global_allocator]`.
+//! Everything lives in ONE `#[test]` so no sibling test can allocate
+//! concurrently and pollute the counter (the default libtest runner is
+//! multi-threaded *across* tests in a binary).
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use routing_baselines::ExactScheme;
+use routing_graph::generators::{self, WeightModel};
+use routing_graph::VertexId;
+use routing_model::{simulate_lean_with_label, DynScheme};
+
+/// Counts every allocation (alloc, alloc_zeroed, realloc) and delegates to
+/// the system allocator. Deallocations are not counted — the guard is about
+/// *new* memory on the hot path.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+
+    unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc_zeroed(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+/// Runs `f` and returns how many allocations it performed.
+fn allocations_in<R>(f: impl FnOnce() -> R) -> (u64, R) {
+    let before = ALLOCS.load(Ordering::Relaxed);
+    let result = f();
+    (ALLOCS.load(Ordering::Relaxed) - before, result)
+}
+
+#[test]
+fn disabled_telemetry_adds_zero_allocations_to_hot_paths() {
+    // The process default, restated so the guard cannot be weakened by test
+    // environment drift.
+    routing_obs::set_profiling(false);
+    routing_obs::set_metrics(false);
+
+    // (a) The instrumentation primitives themselves: a disabled span guard
+    // and a disabled counter increment must never touch the allocator.
+    let (n, ()) = allocations_in(|| {
+        for _ in 0..10_000 {
+            let _span = routing_obs::span("alloc-guard-probe");
+            routing_obs::counters::ROUTING_QUERIES.inc();
+            routing_obs::counters::ROUTING_HOPS.add(3);
+        }
+    });
+    assert_eq!(n, 0, "disabled span()/Counter must be allocation-free, saw {n} allocations");
+
+    // (b) The routed-query hot path end to end. The exact scheme has a
+    // zero-sized header (Box<ZST> does not allocate), so with a pre-erased
+    // destination label `simulate_lean_with_label` is the workspace's one
+    // fully allocation-free query path — any allocation the telemetry layer
+    // sneaks into the simulator shows up here.
+    let mut rng = StdRng::seed_from_u64(42);
+    let g = generators::erdos_renyi(80, 0.08, WeightModel::Uniform { lo: 1, hi: 9 }, &mut rng);
+    let scheme = ExactScheme::build(&g).expect("seeded G(80, 0.08) builds");
+    let dyn_scheme: &dyn DynScheme = &scheme;
+    let source = VertexId(0);
+    let dest = VertexId(17);
+    let label = dyn_scheme.label_of(dest);
+
+    // Warm once outside the counted window (and make sure the pair routes).
+    simulate_lean_with_label(&g, dyn_scheme, source, dest, &label, g.n())
+        .expect("warm-up query routes");
+
+    let (n, outcome) = allocations_in(|| {
+        let mut last = None;
+        for _ in 0..1_000 {
+            last = Some(
+                simulate_lean_with_label(&g, dyn_scheme, source, dest, &label, g.n())
+                    .expect("counted query routes"),
+            );
+        }
+        last.unwrap()
+    });
+    assert!(outcome.hops > 0, "the probe pair must actually traverse edges");
+    assert_eq!(
+        n, 0,
+        "routed-query hot path must be allocation-free with telemetry disabled, \
+         saw {n} allocations over 1000 queries"
+    );
+
+    // (c) Enabling metrics must not change that: counters are static
+    // atomics, so even the *enabled* query path stays allocation-free.
+    routing_obs::set_metrics(true);
+    let (n, _) = allocations_in(|| {
+        for _ in 0..1_000 {
+            simulate_lean_with_label(&g, dyn_scheme, source, dest, &label, g.n())
+                .expect("counted query routes");
+        }
+    });
+    routing_obs::set_metrics(false);
+    assert_eq!(n, 0, "enabled counters are static atomics; saw {n} allocations");
+    assert!(
+        routing_obs::counters::ROUTING_QUERIES.get() >= 1_000,
+        "the enabled window must have recorded its queries"
+    );
+    routing_obs::metrics::reset_counters();
+}

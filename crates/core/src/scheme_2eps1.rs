@@ -150,15 +150,18 @@ impl SchemeTwoPlusEps {
         let landmarks = sample_centers_bounded(g, s, rng);
         let clusters = all_clusters(g, &landmarks);
         let bunch_of = bunches(g, &clusters);
+        let span_ct = routing_obs::span("cluster-trees");
         let cluster_trees: Vec<TreeScheme> = routing_par::par_map(&clusters, |tree| {
             TreeScheme::from_restricted(g, tree)
                 .map_err(|e| BuildError::TooSmall { what: e.to_string() })
         })
         .into_iter()
         .collect::<Result<_, _>>()?;
+        drop(span_ct);
 
         // Global trees for every landmark (one full Dijkstra each, fanned
         // out in parallel over per-worker search workspaces).
+        let span_gt = routing_obs::span("global-trees");
         let built: Vec<Result<TreeScheme, BuildError>> = routing_par::par_map_scratch(
             landmarks.len(),
             || SearchScratch::for_graph(g),
@@ -172,8 +175,10 @@ impl SchemeTwoPlusEps {
         for (&a, tree) in landmarks.members().iter().zip(built) {
             global_trees.insert(a, tree?);
         }
+        drop(span_gt);
 
         // Best intersection vertex per (u, v) with B(u, q̃) ∩ B_A(v) != ∅.
+        let span_ix = routing_obs::span("intersections");
         let mut best_intersection: Vec<HashMap<VertexId, VertexId>> = vec![HashMap::new(); n];
         let mut best_sum: Vec<HashMap<VertexId, Weight>> = vec![HashMap::new(); n];
         for u in g.vertices() {
@@ -192,13 +197,18 @@ impl SchemeTwoPlusEps {
             }
         }
 
+        drop(span_ix);
+
         // Lemma 6 coloring and Lemma 7 over the induced partition.
+        let span_coloring = routing_obs::span("coloring");
         let ball_sets: Vec<Vec<VertexId>> = g
             .vertices()
             .map(|u| balls.ball(u).members().iter().map(|&(v, _)| v).collect())
             .collect();
         let coloring = Coloring::build_for_sets(n, q, &ball_sets, params.coloring_retries, rng)?;
         let color_of: Vec<u32> = g.vertices().map(|v| coloring.color(v)).collect();
+        drop(span_coloring);
+        let span_reps = routing_obs::span("color-reps");
         let reps = build_color_reps(g, &balls, &color_of, q);
         let color_rep: Vec<Vec<(VertexId, Weight)>> = g
             .vertices()
@@ -209,6 +219,7 @@ impl SchemeTwoPlusEps {
                     .collect()
             })
             .collect();
+        drop(span_reps);
         let router = Technique1Router::build(g, &balls, color_of.clone(), params, rng)?;
 
         Ok(SchemeTwoPlusEps {
@@ -265,6 +276,7 @@ impl RoutingScheme for SchemeTwoPlusEps {
     fn init_header(&self, source: VertexId, dest: &Scheme2Label) -> Result<Scheme2Header, RouteError> {
         let v = dest.vertex;
         if source == v || self.balls.contains(source, v) {
+            routing_obs::counters::ROUTING_PHASE_DIRECT.inc();
             return Ok(Scheme2Header { phase: Phase::Direct });
         }
         if let Some(&w) = self.best_intersection[source.index()].get(&v) {
@@ -276,18 +288,23 @@ impl RoutingScheme for SchemeTwoPlusEps {
                         at: source,
                         what: format!("{v} missing from own cluster tree"),
                     })?;
+                routing_obs::counters::ROUTING_PHASE_TREE.inc();
                 return Ok(Scheme2Header { phase: Phase::ClusterTree { root: source, label } });
             }
+            routing_obs::counters::ROUTING_PHASE_TO_PIVOT.inc();
             return Ok(Scheme2Header { phase: Phase::ToIntersection(w) });
         }
         let (w, d_uw) = self.color_rep[source.index()][dest.color as usize];
         if dest.d_pa <= d_uw {
+            routing_obs::counters::ROUTING_PHASE_TREE.inc();
             return Ok(Scheme2Header { phase: Phase::GlobalTree });
         }
         if w == source {
             let h = self.router.start(source, v)?;
+            routing_obs::counters::ROUTING_PHASE_TREE.inc();
             return Ok(Scheme2Header { phase: Phase::Intra(h) });
         }
+        routing_obs::counters::ROUTING_PHASE_TO_PIVOT.inc();
         Ok(Scheme2Header { phase: Phase::ToRep(w) })
     }
 

@@ -92,14 +92,18 @@ impl SchemeThreePlusEps {
         let ell = params.scaled(q as usize, n);
         let balls = BallTable::build(g, ell);
 
+        let span_coloring = routing_obs::span("coloring");
         let ball_sets: Vec<Vec<VertexId>> = g
             .vertices()
             .map(|u| balls.ball(u).members().iter().map(|&(v, _)| v).collect())
             .collect();
         let coloring = Coloring::build_for_sets(n, q, &ball_sets, params.coloring_retries, rng)?;
         let color_of: Vec<u32> = g.vertices().map(|v| coloring.color(v)).collect();
+        drop(span_coloring);
 
+        let span_reps = routing_obs::span("color-reps");
         let color_rep = build_color_reps(g, &balls, &color_of, q);
+        drop(span_reps);
         let router = Technique1Router::build(g, &balls, color_of.clone(), params, rng)?;
 
         Ok(SchemeThreePlusEps {
@@ -171,13 +175,16 @@ impl RoutingScheme for SchemeThreePlusEps {
 
     fn init_header(&self, source: VertexId, dest: &Scheme3Label) -> Result<Scheme3Header, RouteError> {
         if source == dest.vertex || self.balls.contains(source, dest.vertex) {
+            routing_obs::counters::ROUTING_PHASE_DIRECT.inc();
             return Ok(Scheme3Header { phase: Phase::Direct });
         }
         let rep = self.color_rep[source.index()][dest.color as usize];
         if rep == source {
             let h = self.router.start(source, dest.vertex)?;
+            routing_obs::counters::ROUTING_PHASE_TREE.inc();
             return Ok(Scheme3Header { phase: Phase::Intra(h) });
         }
+        routing_obs::counters::ROUTING_PHASE_TO_PIVOT.inc();
         Ok(Scheme3Header { phase: Phase::ToRep(rep) })
     }
 

@@ -135,18 +135,21 @@ impl SchemeFivePlusEps {
         let landmarks = sample_centers_bounded(g, s, rng);
         let clusters = all_clusters(g, &landmarks);
         let bunch_of = bunches(g, &clusters);
+        let span_ct = routing_obs::span("cluster-trees");
         let cluster_trees: Vec<TreeScheme> = routing_par::par_map(&clusters, |tree| {
             TreeScheme::from_restricted(g, tree)
                 .map_err(|e| BuildError::TooSmall { what: e.to_string() })
         })
         .into_iter()
         .collect::<Result<_, _>>()?;
+        drop(span_ct);
 
         // First edge (p_A(v), z) of a shortest path from the landmark to v.
         // One Dijkstra per landmark, in parallel over per-worker search
         // workspaces; each landmark only claims the vertices it is the
         // nearest landmark of, so the merged writes are disjoint and
         // order-independent.
+        let span_fe = routing_obs::span("first-edge");
         let per_landmark: Vec<Vec<(VertexId, (VertexId, Port))>> = routing_par::par_map_scratch(
             landmarks.len(),
             || routing_graph::SearchScratch::for_graph(g),
@@ -168,15 +171,20 @@ impl SchemeFivePlusEps {
         for (v, edge) in per_landmark.into_iter().flatten() {
             first_edge[v.index()] = Some(edge);
         }
+        drop(span_fe);
 
         // Lemma 6 coloring for the source partition U.
+        let span_coloring = routing_obs::span("coloring");
         let ball_sets: Vec<Vec<VertexId>> = g
             .vertices()
             .map(|u| balls.ball(u).members().iter().map(|&(v, _)| v).collect())
             .collect();
         let coloring = Coloring::build_for_sets(n, q, &ball_sets, params.coloring_retries, rng)?;
         let color_of: Vec<u32> = g.vertices().map(|v| coloring.color(v)).collect();
+        drop(span_coloring);
+        let span_reps = routing_obs::span("color-reps");
         let color_rep = build_color_reps(g, &balls, &color_of, q);
+        drop(span_reps);
 
         // Arbitrary balanced partition W of the landmark set A.
         let mut dest_partition: Vec<Vec<VertexId>> = vec![Vec::new(); q as usize];
@@ -241,11 +249,13 @@ impl RoutingScheme for SchemeFivePlusEps {
     fn init_header(&self, source: VertexId, dest: &Scheme5Label) -> Result<Scheme5Header, RouteError> {
         let v = dest.vertex;
         if source == v || self.balls.contains(source, v) {
+            routing_obs::counters::ROUTING_PHASE_DIRECT.inc();
             return Ok(Scheme5Header { phase: Phase::Direct });
         }
         // v in C_A(source): the label of v in the source's cluster tree is
         // stored at the source.
         if let Some(label) = self.cluster_trees[source.index()].label(v) {
+            routing_obs::counters::ROUTING_PHASE_TREE.inc();
             return Ok(Scheme5Header {
                 phase: Phase::ClusterTree { root: source, label: label.clone() },
             });
@@ -253,8 +263,10 @@ impl RoutingScheme for SchemeFivePlusEps {
         let w = self.color_rep[source.index()][dest.alpha as usize];
         if w == source {
             let h = self.router.start(source, dest.p_a)?;
+            routing_obs::counters::ROUTING_PHASE_TO_PIVOT.inc();
             return Ok(Scheme5Header { phase: Phase::ToLandmark(h) });
         }
+        routing_obs::counters::ROUTING_PHASE_TO_PIVOT.inc();
         Ok(Scheme5Header { phase: Phase::ToRep(w) })
     }
 

@@ -127,6 +127,7 @@ impl SchemeMultilevel {
         // The Lemma 6 coloring partitions by the *level-1* vicinities, so
         // Lemma 7's per-class guarantee matches the warm-up analysis; the
         // larger stored ball only adds direct-routing reach on top.
+        let span_coloring = routing_obs::span("coloring");
         let level1_sets: Vec<Vec<VertexId>> = g
             .vertices()
             .map(|u| {
@@ -138,10 +139,13 @@ impl SchemeMultilevel {
             .collect();
         let coloring = Coloring::build_for_sets(n, q, &level1_sets, params.coloring_retries, rng)?;
         let color_of: Vec<u32> = g.vertices().map(|v| coloring.color(v)).collect();
+        drop(span_coloring);
 
         // Representatives come from the full stored ball: the settle order
         // is by distance, so the first member of each color is the closest.
+        let span_reps = routing_obs::span("color-reps");
         let color_rep = build_color_reps(g, &balls, &color_of, q);
+        drop(span_reps);
 
         // Split the slack: Lemma 7 runs at ε/2, so the end-to-end worst
         // case d + (1 + ε/2)·2d = (3+ε)d sits inside (3 + 2/ℓ + ε)d + 2
@@ -226,13 +230,16 @@ impl RoutingScheme for SchemeMultilevel {
         dest: &MultilevelLabel,
     ) -> Result<MultilevelHeader, RouteError> {
         if source == dest.vertex || self.balls.contains(source, dest.vertex) {
+            routing_obs::counters::ROUTING_PHASE_DIRECT.inc();
             return Ok(MultilevelHeader { phase: Phase::Direct });
         }
         let rep = self.color_rep[source.index()][dest.color as usize];
         if rep == source {
             let h = self.router.start(source, dest.vertex)?;
+            routing_obs::counters::ROUTING_PHASE_TREE.inc();
             return Ok(MultilevelHeader { phase: Phase::Intra(h) });
         }
+        routing_obs::counters::ROUTING_PHASE_TO_PIVOT.inc();
         Ok(MultilevelHeader { phase: Phase::ToRep(rep) })
     }
 

@@ -105,8 +105,10 @@ impl Technique1Router {
         }
         assert_eq!(set_of.len(), g.n(), "set_of must cover every vertex");
         let b = params.b_lemma7();
+        let _span = routing_obs::span("technique1");
 
         // Lemma 5: a hitting set for every vicinity.
+        let span_hitting = routing_obs::span("hitting-set");
         let ball_sets: Vec<Vec<VertexId>> = g
             .vertices()
             .map(|u| balls.ball(u).members().iter().map(|&(v, _)| v).collect())
@@ -116,10 +118,12 @@ impl Technique1Router {
             HittingStrategy::Random => hitting_set_random(g.n(), &ball_sets, rng),
         };
         let hitting_lookup: HashSet<VertexId> = hitting.iter().copied().collect();
+        drop(span_hitting);
 
         // Global shortest-path trees for the hitting set: one full Dijkstra
         // plus a heavy-path decomposition per hitting-set vertex, all
         // independent — fan them out, one reused search workspace per worker.
+        let span_trees = routing_obs::span("global-trees");
         let built_trees: Vec<Result<TreeScheme, BuildError>> = routing_par::par_map_scratch(
             hitting.len(),
             || SearchScratch::for_graph(g),
@@ -133,6 +137,8 @@ impl Technique1Router {
         for (&w, tree) in hitting.iter().zip(built_trees) {
             trees.insert(w, tree?);
         }
+        drop(span_trees);
+        let _span_seqs = routing_obs::span("sequences");
 
         // Group vertices by set.
         let mut groups: HashMap<u32, Vec<VertexId>> = HashMap::new();

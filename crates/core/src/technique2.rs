@@ -84,6 +84,7 @@ impl Technique2Router {
         }
         assert_eq!(color_of.len(), g.n(), "color_of must cover every vertex");
         let b = params.b_lemma8();
+        let _span = routing_obs::span("technique2");
 
         let mut dest_set_of = HashMap::new();
         for (j, set) in dest_partition.iter().enumerate() {

@@ -80,6 +80,7 @@ pub fn simulate_with_ttl(
                     return Err(RouteError::DeliveredAtWrongVertex { at, destination: dest });
                 }
                 let hops = path.len() - 1;
+                record_delivery(hops, max_header_words);
                 return Ok(RouteOutcome { path, weight, hops, max_header_words });
             }
             Decision::Forward(port) => {
@@ -96,6 +97,19 @@ pub fn simulate_with_ttl(
                 max_header_words = max_header_words.max(header.words());
             }
         }
+    }
+}
+
+/// Telemetry for one delivered query: one flag load when metrics are off,
+/// three counter bumps when on. Only successful deliveries count — error
+/// paths are accounted by their callers (the churn harness's failure
+/// breakdown maps onto the `churn_fail_*` counters).
+#[inline]
+fn record_delivery(hops: usize, max_header_words: usize) {
+    if routing_obs::metrics_enabled() {
+        routing_obs::counters::ROUTING_QUERIES.inc();
+        routing_obs::counters::ROUTING_HOPS.add(hops as u64);
+        routing_obs::counters::ROUTING_HEADER_WORDS.add(max_header_words as u64);
     }
 }
 
@@ -171,6 +185,7 @@ pub fn simulate_lean_with_label(
                 if at != dest {
                     return Err(RouteError::DeliveredAtWrongVertex { at, destination: dest });
                 }
+                record_delivery(hops, max_header_words);
                 return Ok(LeanOutcome { weight, hops, max_header_words });
             }
             Decision::Forward(port) => {

@@ -68,12 +68,31 @@ pub struct FailureBreakdown {
 
 impl FailureBreakdown {
     fn record(&mut self, kind: FailureKind) {
+        // Mirror each failure into the process-wide telemetry counters so a
+        // churn run exports its failure-class totals without re-summing the
+        // per-round breakdowns (no-op unless metrics are enabled).
+        use routing_obs::counters as c;
         match kind {
-            FailureKind::InvalidPort => self.invalid_port += 1,
-            FailureKind::WrongDelivery => self.wrong_delivery += 1,
-            FailureKind::HopBudget => self.hop_budget += 1,
-            FailureKind::UnknownVertex => self.unknown_vertex += 1,
-            FailureKind::SchemeError => self.scheme_error += 1,
+            FailureKind::InvalidPort => {
+                self.invalid_port += 1;
+                c::CHURN_FAIL_INVALID_PORT.inc();
+            }
+            FailureKind::WrongDelivery => {
+                self.wrong_delivery += 1;
+                c::CHURN_FAIL_WRONG_DELIVERY.inc();
+            }
+            FailureKind::HopBudget => {
+                self.hop_budget += 1;
+                c::CHURN_FAIL_HOP_BUDGET.inc();
+            }
+            FailureKind::UnknownVertex => {
+                self.unknown_vertex += 1;
+                c::CHURN_FAIL_UNKNOWN_VERTEX.inc();
+            }
+            FailureKind::SchemeError => {
+                self.scheme_error += 1;
+                c::CHURN_FAIL_SCHEME_ERROR.inc();
+            }
         }
     }
 

@@ -1,0 +1,457 @@
+//! The hierarchical span profiler: scoped timers building a per-thread
+//! span tree, merged across `routing-par` workers into one deterministic
+//! forest.
+//!
+//! # Usage
+//!
+//! ```
+//! routing_obs::reset();
+//! routing_obs::set_profiling(true);
+//! {
+//!     let _outer = routing_obs::span("build");
+//!     let _inner = routing_obs::span("balls");
+//!     // ... work ...
+//! }
+//! routing_obs::set_profiling(false);
+//! let forest = routing_obs::report();
+//! assert_eq!(forest[0].name, "build");
+//! assert_eq!(forest[0].children[0].name, "balls");
+//! assert_eq!(forest[0].children[0].count, 1);
+//! ```
+//!
+//! # Cost model
+//!
+//! Disabled (the default): [`span`] is one relaxed atomic load returning a
+//! guard with a `None` start — no allocation, no thread-local access, no
+//! clock read. Enabled: one clock read at enter and one at drop, plus a
+//! linear child-name scan in a thread-local arena (no hashing, no
+//! allocation after a name's first occurrence under a given parent).
+//!
+//! # Worker aggregation
+//!
+//! `routing_par::par_map_scratch` forks worker threads that know nothing
+//! about the span stack of their caller. The first [`set_profiling`]`(true)`
+//! registers [`routing_par::ParHooks`]: at the fork site the caller's open
+//! span path is interned to a token; each worker opens that path as an
+//! uncounted prefix, records its own spans beneath it, and flushes its tree
+//! into the global forest before exiting. Merging is by name with summed
+//! counts and durations — commutative and associative, so the resulting
+//! tree structure and counts are identical for every thread count.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Whether span profiling is currently enabled — one relaxed load; the
+/// whole disabled-path cost of [`span`].
+#[inline]
+pub fn profiling_enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// Turns span profiling on or off process-wide.
+///
+/// The first `set_profiling(true)` also registers the profiler's
+/// [`routing_par::ParHooks`] so parallel fan-outs aggregate worker spans;
+/// the hooks themselves check the enabled flag and are inert afterwards
+/// when profiling is off.
+pub fn set_profiling(on: bool) {
+    if on {
+        install_par_hooks();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// One merged span: a name, how many times a span of that name closed at
+/// this tree position, the summed wall-clock, and the child spans opened
+/// beneath it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// The name passed to [`span`].
+    pub name: &'static str,
+    /// Number of times a span with this name closed at this position.
+    pub count: u64,
+    /// Total wall-clock spent inside, nanoseconds (includes children).
+    pub total_ns: u64,
+    /// Child spans, sorted by name in a [`report`] snapshot.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Total wall-clock in milliseconds.
+    pub fn total_ms(&self) -> f64 {
+        self.total_ns as f64 / 1e6
+    }
+}
+
+/// Arena node of a thread-local (or the global) span tree.
+#[derive(Clone)]
+struct Node {
+    name: &'static str,
+    count: u64,
+    total_ns: u64,
+    children: Vec<usize>,
+}
+
+/// A per-thread span tree under construction: an arena of nodes (index 0
+/// is the synthetic root) plus the stack of currently open spans.
+struct Collector {
+    nodes: Vec<Node>,
+    stack: Vec<usize>,
+    /// Stack depth of the worker prefix (0 on ordinary threads): spans
+    /// opened by [`Collector::open_prefix`] that must not be closed by
+    /// ordinary exits.
+    prefix_depth: usize,
+}
+
+impl Collector {
+    fn new() -> Self {
+        Collector {
+            nodes: vec![Node { name: "", count: 0, total_ns: 0, children: Vec::new() }],
+            stack: vec![0],
+            prefix_depth: 0,
+        }
+    }
+
+    /// Finds or creates the child named `name` under the top of the stack
+    /// and pushes it.
+    fn enter(&mut self, name: &'static str) {
+        let top = *self.stack.last().expect("root never pops");
+        let found = self.nodes[top].children.iter().copied().find(|&c| self.nodes[c].name == name);
+        let idx = match found {
+            Some(c) => c,
+            None => {
+                let idx = self.nodes.len();
+                self.nodes.push(Node { name, count: 0, total_ns: 0, children: Vec::new() });
+                self.nodes[top].children.push(idx);
+                idx
+            }
+        };
+        self.stack.push(idx);
+    }
+
+    /// Pops the top span, attributing `ns` of wall-clock and one count.
+    fn exit(&mut self, ns: u64) {
+        if self.stack.len() <= 1 + self.prefix_depth {
+            // Unbalanced exit (profiling toggled mid-span, or a worker
+            // prefix boundary): drop the sample rather than corrupt the
+            // tree.
+            return;
+        }
+        let idx = self.stack.pop().expect("checked non-prefix depth above");
+        self.nodes[idx].count += 1;
+        self.nodes[idx].total_ns += ns;
+    }
+
+    /// Opens `path` as an uncounted prefix (worker threads: the span path
+    /// that was open at the fork site).
+    fn open_prefix(&mut self, path: &[&'static str]) {
+        for &name in path {
+            self.enter(name);
+        }
+        self.prefix_depth = self.stack.len() - 1;
+    }
+
+    /// The names of the currently open spans, outermost first.
+    fn current_path(&self) -> Vec<&'static str> {
+        self.stack[1..].iter().map(|&i| self.nodes[i].name).collect()
+    }
+
+    /// Recursively merges the subtree rooted at `idx` into `dst`.
+    fn merge_into(&self, idx: usize, dst: &mut Vec<SpanNode>) {
+        let node = &self.nodes[idx];
+        let entry = match dst.iter_mut().find(|s| s.name == node.name) {
+            Some(e) => e,
+            None => {
+                dst.push(SpanNode {
+                    name: node.name,
+                    count: 0,
+                    total_ns: 0,
+                    children: Vec::new(),
+                });
+                dst.last_mut().expect("just pushed")
+            }
+        };
+        entry.count += node.count;
+        entry.total_ns += node.total_ns;
+        for &c in &node.children {
+            self.merge_into(c, &mut entry.children);
+        }
+    }
+
+    /// Flushes everything recorded on this thread into the global forest
+    /// and resets the local tree (open prefixes included).
+    fn flush(&mut self) {
+        let root_children: Vec<usize> = self.nodes[0].children.clone();
+        if !root_children.is_empty() {
+            let mut global = global_forest().lock().expect("no panicked flusher");
+            for idx in root_children {
+                self.merge_into(idx, &mut global);
+            }
+        }
+        *self = Collector::new();
+    }
+}
+
+thread_local! {
+    static COLLECTOR: RefCell<Collector> = RefCell::new(Collector::new());
+}
+
+/// The merged forest every thread flushes into.
+fn global_forest() -> &'static Mutex<Vec<SpanNode>> {
+    static FOREST: OnceLock<Mutex<Vec<SpanNode>>> = OnceLock::new();
+    FOREST.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Fork-site span paths interned for worker threads; a token handed to
+/// [`routing_par::ParHooks::worker_start`] indexes this table.
+fn fork_paths() -> &'static Mutex<Vec<Vec<&'static str>>> {
+    static PATHS: OnceLock<Mutex<Vec<Vec<&'static str>>>> = OnceLock::new();
+    PATHS.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// A scoped span timer: created by [`span`], records on drop. Inert (and
+/// allocation-free) when profiling was disabled at creation.
+#[must_use = "a span measures the scope it is bound to; dropping it immediately records nothing useful"]
+pub struct Span {
+    start: Option<Instant>,
+}
+
+/// Opens a span named `name` under the innermost open span of this thread
+/// and returns the guard that closes it on drop.
+///
+/// Disabled profiling: one relaxed atomic load, an inert guard, nothing
+/// else. `name` must be a `'static` literal — the tree stores borrowed
+/// names and merges by pointer-free string equality.
+#[inline]
+pub fn span(name: &'static str) -> Span {
+    if !profiling_enabled() {
+        return Span { start: None };
+    }
+    COLLECTOR.with(|c| c.borrow_mut().enter(name));
+    Span { start: Some(Instant::now()) }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(start) = self.start {
+            let ns = start.elapsed().as_nanos() as u64;
+            COLLECTOR.with(|c| c.borrow_mut().exit(ns));
+        }
+    }
+}
+
+/// Opens a named span for the rest of the enclosing scope:
+/// `routing_obs::span_scope!("balls");` is
+/// `let _guard = routing_obs::span("balls");` with a hygienic binding.
+#[macro_export]
+macro_rules! span_scope {
+    ($name:expr) => {
+        let _span_guard = $crate::span($name);
+    };
+}
+
+/// Flushes the calling thread's recorded spans into the global forest.
+///
+/// [`report`] does this implicitly for its caller; long-lived threads that
+/// record spans but never call `report` (e.g. resident shard workers) can
+/// flush explicitly.
+pub fn flush_local() {
+    COLLECTOR.with(|c| c.borrow_mut().flush());
+}
+
+/// Clears every recorded span: the global forest, the interned fork paths
+/// and the calling thread's local tree.
+pub fn reset() {
+    COLLECTOR.with(|c| *c.borrow_mut() = Collector::new());
+    global_forest().lock().expect("no panicked flusher").clear();
+    fork_paths().lock().expect("no panicked flusher").clear();
+}
+
+/// Flushes the calling thread and returns a snapshot of the merged span
+/// forest, children sorted by name at every level (deterministic
+/// structure; durations are measurements).
+pub fn report() -> Vec<SpanNode> {
+    flush_local();
+    let mut forest = global_forest().lock().expect("no panicked flusher").clone();
+    sort_forest(&mut forest);
+    forest
+}
+
+fn sort_forest(forest: &mut [SpanNode]) {
+    forest.sort_by_key(|s| s.name);
+    for node in forest {
+        sort_forest(&mut node.children);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// routing-par hooks: attribute worker spans under the fork site's open span.
+
+fn hook_fork() -> u64 {
+    if !profiling_enabled() {
+        return 0;
+    }
+    let path = COLLECTOR.with(|c| c.borrow().current_path());
+    let mut paths = fork_paths().lock().expect("no panicked flusher");
+    paths.push(path);
+    paths.len() as u64 // 1-based: 0 means "profiling disabled at fork"
+}
+
+fn hook_worker_start(token: u64) {
+    if token == 0 || !profiling_enabled() {
+        return;
+    }
+    let path = {
+        let paths = fork_paths().lock().expect("no panicked flusher");
+        match paths.get(token as usize - 1) {
+            Some(p) => p.clone(),
+            None => return, // reset() raced the fork; skip attribution
+        }
+    };
+    COLLECTOR.with(|c| c.borrow_mut().open_prefix(&path));
+}
+
+fn hook_worker_end() {
+    // Flush whatever this worker recorded (cheap no-op when nothing was).
+    flush_local();
+}
+
+fn install_par_hooks() {
+    static INSTALLED: OnceLock<()> = OnceLock::new();
+    INSTALLED.get_or_init(|| {
+        routing_par::set_par_hooks(routing_par::ParHooks {
+            fork: hook_fork,
+            worker_start: hook_worker_start,
+            worker_end: hook_worker_end,
+        });
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Profiler state is process-global; tests that toggle it serialize on
+    /// this lock so `cargo test`'s parallel threads cannot interleave.
+    fn test_lock() -> std::sync::MutexGuard<'static, ()> {
+        static LOCK: OnceLock<Mutex<()>> = OnceLock::new();
+        match LOCK.get_or_init(|| Mutex::new(())).lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _guard = test_lock();
+        reset();
+        set_profiling(false);
+        {
+            let _s = span("invisible");
+        }
+        assert!(report().is_empty());
+    }
+
+    #[test]
+    fn nested_spans_build_a_tree_with_counts() {
+        let _guard = test_lock();
+        reset();
+        set_profiling(true);
+        for _ in 0..3 {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+            {
+                let _inner = span("inner");
+            }
+        }
+        {
+            let _other = span("another-root");
+        }
+        set_profiling(false);
+        let forest = report();
+        assert_eq!(forest.len(), 2);
+        // Sorted by name: "another-root" < "outer".
+        assert_eq!(forest[0].name, "another-root");
+        assert_eq!(forest[0].count, 1);
+        let outer = &forest[1];
+        assert_eq!(outer.name, "outer");
+        assert_eq!(outer.count, 3);
+        assert_eq!(outer.children.len(), 1);
+        assert_eq!(outer.children[0].name, "inner");
+        assert_eq!(outer.children[0].count, 6);
+        assert!(outer.total_ns >= outer.children[0].total_ns);
+        assert!(outer.total_ms() >= 0.0);
+        reset();
+        assert!(report().is_empty());
+    }
+
+    #[test]
+    fn span_scope_macro_times_the_rest_of_the_scope() {
+        let _guard = test_lock();
+        reset();
+        set_profiling(true);
+        {
+            crate::span_scope!("macro-span");
+            crate::span_scope!("nested-macro-span");
+        }
+        set_profiling(false);
+        let forest = report();
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].name, "macro-span");
+        assert_eq!(forest[0].children[0].name, "nested-macro-span");
+        reset();
+    }
+
+    #[test]
+    fn worker_spans_merge_under_the_fork_site_for_every_thread_count() {
+        let _guard = test_lock();
+        let mut structures = Vec::new();
+        for threads in [1usize, 2, 4] {
+            reset();
+            set_profiling(true);
+            {
+                let _phase = span("phase");
+                let out = routing_par::par_map_scratch_with(threads, 64, || (), |_, i| {
+                    let _item = span("item");
+                    i * 2
+                });
+                assert_eq!(out[10], 20);
+            }
+            set_profiling(false);
+            let forest = report();
+            assert_eq!(forest.len(), 1, "threads={threads}");
+            assert_eq!(forest[0].name, "phase");
+            assert_eq!(forest[0].children.len(), 1, "threads={threads}");
+            let item = &forest[0].children[0];
+            assert_eq!(item.name, "item");
+            assert_eq!(item.count, 64, "threads={threads}");
+            // Structure (names and counts) must be thread-count independent.
+            structures.push((forest[0].name, forest[0].count, item.name, item.count));
+        }
+        assert!(structures.windows(2).all(|w| w[0] == w[1]));
+        reset();
+    }
+
+    #[test]
+    fn toggling_mid_span_does_not_corrupt_the_tree() {
+        let _guard = test_lock();
+        reset();
+        set_profiling(false);
+        let opened_disabled = span("never-recorded");
+        set_profiling(true);
+        drop(opened_disabled); // no-op: was inert at creation
+        let opened_enabled = span("half-recorded");
+        set_profiling(false);
+        drop(opened_enabled); // still records: guard was armed at creation
+        let forest = report();
+        assert_eq!(forest.len(), 1);
+        assert_eq!(forest[0].name, "half-recorded");
+        reset();
+    }
+}

@@ -47,10 +47,40 @@
 #![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Mutex, OnceLock};
 
 /// Process-wide thread count; `0` means "not set, use hardware parallelism".
 static THREADS: AtomicUsize = AtomicUsize::new(0);
+
+/// Observer hooks around the parallel fan-out, for telemetry layers that
+/// need to attribute worker-thread work back to the caller (the span
+/// profiler in `routing-obs` aggregates each worker's span tree under the
+/// span open at the fork site).
+///
+/// Plain `fn` pointers, not trait objects: `routing-obs` depends on this
+/// crate, so the hooks must be registered without this crate knowing any
+/// observer type — and a `fn` call on the uninstalled `None` path costs one
+/// `OnceLock` load per `par_map_*` call, nothing per work item.
+#[derive(Clone, Copy)]
+pub struct ParHooks {
+    /// Called once on the caller's thread before workers spawn; the
+    /// returned token is handed to every worker's `worker_start`.
+    pub fork: fn() -> u64,
+    /// Called on each worker thread before it claims work.
+    pub worker_start: fn(u64),
+    /// Called on each worker thread after its last chunk, before the scope
+    /// joins it (the observer's last chance to flush thread-local state).
+    pub worker_end: fn(),
+}
+
+static HOOKS: OnceLock<ParHooks> = OnceLock::new();
+
+/// Registers the process-wide [`ParHooks`]. The first registration wins
+/// (returns `true`); later calls are ignored (`false`) — hooks are a
+/// process-lifetime observer, not a swappable strategy.
+pub fn set_par_hooks(hooks: ParHooks) -> bool {
+    HOOKS.set(hooks).is_ok()
+}
 
 /// The parallelism the hardware offers ([`std::thread::available_parallelism`]),
 /// falling back to 1 when the platform cannot report it.
@@ -159,9 +189,17 @@ where
     let chunk = n.div_ceil(workers * 8).max(1);
     let counter = AtomicUsize::new(0);
     let done: Mutex<Vec<(usize, Vec<U>)>> = Mutex::new(Vec::new());
+    // Telemetry hooks: fork on the caller's thread (captures its context
+    // into a token), start/end on each worker. One OnceLock load per
+    // par-call when no observer is installed.
+    let hooks = HOOKS.get();
+    let fork_token = hooks.map_or(0, |h| (h.fork)());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
+                if let Some(h) = hooks {
+                    (h.worker_start)(fork_token);
+                }
                 let mut scratch = init();
                 let mut local: Vec<(usize, Vec<U>)> = Vec::new();
                 loop {
@@ -173,6 +211,9 @@ where
                     local.push((start, (start..end).map(|i| f(&mut scratch, i)).collect()));
                 }
                 done.lock().expect("no panicked holder").extend(local);
+                if let Some(h) = hooks {
+                    (h.worker_end)();
+                }
             });
         }
     });

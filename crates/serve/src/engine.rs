@@ -506,7 +506,10 @@ fn route_one(
         });
     }
     if cached.as_ref().map(|(d, _)| *d) != Some(job.dest) {
+        routing_obs::counters::SERVE_LABEL_CACHE_MISSES.inc();
         *cached = Some((job.dest, scheme.label_of(job.dest)));
+    } else {
+        routing_obs::counters::SERVE_LABEL_CACHE_HITS.inc();
     }
     let label = &cached.as_ref().expect("label cached above").1;
     let out = simulate_lean_with_label(g, scheme, job.source, job.dest, label, max_hops)?;

@@ -1,229 +1,7 @@
-//! A fixed-size log-linear latency histogram (HDR-style, two significant
-//! hex digits): constant-time recording, mergeable across shards, and
-//! quantile queries with a bounded relative error of `1/16`.
-//!
-//! Per-query latencies on the serving hot path span five orders of
-//! magnitude (sub-microsecond cache hits to multi-millisecond cold routes),
-//! so a linear histogram is either huge or useless. This one keeps 16
-//! linear sub-buckets per power of two: every recorded value lands in a
-//! bucket whose width is at most `1/16` of its lower bound, which is more
-//! resolution than wall-clock jitter justifies. The whole histogram is a
-//! flat `u64` array — recording is two shifts and an increment, merging is
-//! element-wise addition (the engine merges per-shard histograms into the
-//! aggregate tail-latency report).
+//! Latency histogram — promoted to [`routing_obs::latency`] (PR 8) so the
+//! churn and bench harnesses can record through the same type and the
+//! exporters have one histogram shape to render. Re-exported here so every
+//! existing `routing_serve::latency::LatencyHistogram` /
+//! `routing_serve::LatencyHistogram` caller compiles unchanged.
 
-/// Linear sub-buckets per octave; also the size of the initial exact range.
-const SUB: usize = 16;
-/// log2(SUB): values below `SUB` are recorded exactly.
-const SUB_BITS: u32 = 4;
-/// Octaves above the exact range (`u64` values up to `2^63`).
-const OCTAVES: usize = 60;
-/// Total bucket count.
-const BUCKETS: usize = SUB + OCTAVES * SUB;
-
-/// A mergeable log-linear histogram of `u64` samples (nanoseconds, by
-/// convention, but any scale works).
-#[derive(Clone)]
-pub struct LatencyHistogram {
-    counts: Box<[u64; BUCKETS]>,
-    total: u64,
-    sum: u128,
-    max: u64,
-}
-
-impl Default for LatencyHistogram {
-    fn default() -> Self {
-        LatencyHistogram::new()
-    }
-}
-
-impl LatencyHistogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        LatencyHistogram { counts: Box::new([0; BUCKETS]), total: 0, sum: 0, max: 0 }
-    }
-
-    /// The bucket index of `v`: exact below [`SUB`], log-linear above.
-    fn index(v: u64) -> usize {
-        if v < SUB as u64 {
-            return v as usize;
-        }
-        let msb = 63 - v.leading_zeros();
-        let octave = (msb - SUB_BITS) as usize;
-        let offset = ((v >> (msb - SUB_BITS)) & (SUB as u64 - 1)) as usize;
-        (SUB + octave * SUB + offset).min(BUCKETS - 1)
-    }
-
-    /// The largest value that maps to bucket `idx` (the value a quantile
-    /// query reports for samples in that bucket).
-    fn upper_bound(idx: usize) -> u64 {
-        if idx < SUB {
-            return idx as u64;
-        }
-        let octave = ((idx - SUB) / SUB) as u32;
-        let offset = ((idx - SUB) % SUB) as u128;
-        // The bucket covers [ (16+offset) << octave, (16+offset+1) << octave );
-        // the top bucket's bound exceeds u64, so compute wide and saturate.
-        let bound = ((SUB as u128 + offset + 1) << octave) - 1;
-        bound.min(u64::MAX as u128) as u64
-    }
-
-    /// Records one sample.
-    pub fn record(&mut self, v: u64) {
-        self.counts[Self::index(v)] += 1;
-        self.total += 1;
-        self.sum += v as u128;
-        self.max = self.max.max(v);
-    }
-
-    /// Adds every sample of `other` into `self` (exact: bucket counts add).
-    pub fn merge(&mut self, other: &LatencyHistogram) {
-        for (a, b) in self.counts.iter_mut().zip(other.counts.iter()) {
-            *a += b;
-        }
-        self.total += other.total;
-        self.sum += other.sum;
-        self.max = self.max.max(other.max);
-    }
-
-    /// Number of recorded samples.
-    pub fn count(&self) -> u64 {
-        self.total
-    }
-
-    /// Mean of the recorded samples (exact, from the running sum), or
-    /// `None` when empty.
-    pub fn mean(&self) -> Option<f64> {
-        if self.total == 0 {
-            return None;
-        }
-        Some(self.sum as f64 / self.total as f64)
-    }
-
-    /// The largest recorded sample (exact), or `None` when empty.
-    pub fn max(&self) -> Option<u64> {
-        if self.total == 0 {
-            None
-        } else {
-            Some(self.max)
-        }
-    }
-
-    /// The `q`-quantile (`0.0 ..= 1.0`) as the upper bound of the bucket
-    /// holding the target sample — within `1/16` relative error of the true
-    /// order statistic, clamped to the exact maximum. `None` when empty.
-    pub fn quantile(&self, q: f64) -> Option<u64> {
-        if self.total == 0 {
-            return None;
-        }
-        let q = q.clamp(0.0, 1.0);
-        // The rank of the target sample, 1-based; q=0 hits the first.
-        let target = ((q * self.total as f64).ceil() as u64).max(1);
-        let mut seen = 0u64;
-        for (idx, &c) in self.counts.iter().enumerate() {
-            seen += c;
-            if seen >= target {
-                return Some(Self::upper_bound(idx).min(self.max));
-            }
-        }
-        Some(self.max)
-    }
-}
-
-impl std::fmt::Debug for LatencyHistogram {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("LatencyHistogram")
-            .field("count", &self.total)
-            .field("mean", &self.mean())
-            .field("p50", &self.quantile(0.5))
-            .field("p99", &self.quantile(0.99))
-            .field("max", &self.max())
-            .finish()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn empty_histogram_reports_none() {
-        let h = LatencyHistogram::new();
-        assert_eq!(h.count(), 0);
-        assert_eq!(h.mean(), None);
-        assert_eq!(h.max(), None);
-        assert_eq!(h.quantile(0.5), None);
-    }
-
-    #[test]
-    fn small_values_are_exact() {
-        let mut h = LatencyHistogram::new();
-        for v in [0u64, 1, 2, 3, 15, 15, 15] {
-            h.record(v);
-        }
-        assert_eq!(h.count(), 7);
-        assert_eq!(h.quantile(0.0), Some(0));
-        assert_eq!(h.quantile(1.0), Some(15));
-        assert_eq!(h.max(), Some(15));
-        assert_eq!(h.mean(), Some(51.0 / 7.0));
-    }
-
-    #[test]
-    fn quantiles_are_within_one_sixteenth() {
-        let mut h = LatencyHistogram::new();
-        // 1..=100_000: the true q-quantile is q * 100_000.
-        for v in 1..=100_000u64 {
-            h.record(v);
-        }
-        for q in [0.5, 0.9, 0.99, 0.999] {
-            let want = (q * 100_000.0) as f64;
-            let got = h.quantile(q).unwrap() as f64;
-            assert!(
-                got >= want * (1.0 - 1.0 / 16.0) && got <= want * (1.0 + 1.0 / 8.0),
-                "q={q}: got {got}, want ~{want}"
-            );
-        }
-        assert_eq!(h.quantile(1.0), Some(100_000));
-    }
-
-    #[test]
-    fn merge_equals_recording_everything_in_one() {
-        let mut a = LatencyHistogram::new();
-        let mut b = LatencyHistogram::new();
-        let mut both = LatencyHistogram::new();
-        for v in [7u64, 130, 9_000, 1 << 40] {
-            a.record(v);
-            both.record(v);
-        }
-        for v in [1u64, 250_000, u64::MAX / 2] {
-            b.record(v);
-            both.record(v);
-        }
-        a.merge(&b);
-        assert_eq!(a.count(), both.count());
-        assert_eq!(a.mean(), both.mean());
-        assert_eq!(a.max(), both.max());
-        for q in [0.1, 0.5, 0.9, 1.0] {
-            assert_eq!(a.quantile(q), both.quantile(q));
-        }
-    }
-
-    #[test]
-    fn huge_values_do_not_overflow_the_bucket_table() {
-        let mut h = LatencyHistogram::new();
-        h.record(u64::MAX);
-        h.record(1 << 62);
-        assert_eq!(h.count(), 2);
-        assert_eq!(h.max(), Some(u64::MAX));
-        // Quantiles clamp to the exact recorded maximum.
-        assert_eq!(h.quantile(1.0), Some(u64::MAX));
-    }
-
-    #[test]
-    fn debug_is_compact() {
-        let mut h = LatencyHistogram::new();
-        h.record(42);
-        let s = format!("{h:?}");
-        assert!(s.contains("count: 1"), "{s}");
-    }
-}
+pub use routing_obs::latency::LatencyHistogram;

@@ -23,7 +23,10 @@
 //! - [`ZipfWorkload`] — a seeded, byte-reproducible Zipf-skewed load
 //!   generator for stress tests and benches.
 //! - [`LatencyHistogram`] — HDR-style log-linear histogram backing the
-//!   per-shard p50/p99/p999 latency accounting in [`ShardStats`].
+//!   per-shard p50/p99/p999 latency accounting in [`ShardStats`]
+//!   (re-exported from `routing-obs`, the workspace telemetry crate, which
+//!   also hosts the serving-path counters this crate increments:
+//!   label-cache hits, epoch swaps, snapshot loads).
 //!
 //! Every [`RouteAnswer`] carries the epoch of the snapshot that produced
 //! it and is bit-identical to direct single-threaded simulation under that

@@ -85,6 +85,7 @@ impl EpochCell {
     /// The currently published snapshot (cheap: two `Arc` clones under the
     /// read lock).
     pub fn load(&self) -> SchemeSnapshot {
+        routing_obs::counters::SERVE_SNAPSHOT_LOADS.inc();
         self.slot.read().expect("no panicked publisher").clone()
     }
 
@@ -100,6 +101,7 @@ impl EpochCell {
     /// `load` — that is the designed behavior, not a race: a batch is
     /// always answered under one single epoch.
     pub fn publish(&self, graph: Arc<Graph>, scheme: Arc<dyn DynScheme>) -> u64 {
+        routing_obs::counters::SERVE_EPOCH_SWAPS.inc();
         let mut slot = self.slot.write().expect("no panicked publisher");
         let epoch = slot.epoch + 1;
         *slot = SchemeSnapshot { graph, scheme, epoch };

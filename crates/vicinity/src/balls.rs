@@ -60,6 +60,7 @@ impl BallTable {
     /// threads, each worker reusing one search workspace; the resulting
     /// table is identical for every thread count.
     pub fn build(g: &Graph, ell: usize) -> Self {
+        let _span = routing_obs::span("balls");
         let n = g.n();
         type PerVertex = (Vec<(VertexId, Weight)>, Vec<Option<VertexId>>, Vec<Port>, Weight);
         let per_vertex: Vec<PerVertex> = routing_par::par_map_scratch(

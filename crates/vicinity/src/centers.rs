@@ -102,6 +102,7 @@ impl Landmarks {
 /// keep only the vertices whose clusters are still too large. Sampling is
 /// driven by `rng`, but the returned set always satisfies the cluster bound.
 pub fn sample_centers_bounded<R: Rng>(g: &Graph, s: usize, rng: &mut R) -> Landmarks {
+    let _span = routing_obs::span("centers");
     let n = g.n();
     let s = s.clamp(1, n.max(1));
     let limit = (4 * n).div_ceil(s);
@@ -144,6 +145,7 @@ pub fn sample_centers_bounded<R: Rng>(g: &Graph, s: usize, rng: &mut R) -> Landm
 /// Computes the cluster tree `T_{C_A(w)}` of every vertex `w`, indexed by
 /// vertex id. One restricted search per vertex, run in parallel.
 pub fn all_clusters(g: &Graph, landmarks: &Landmarks) -> Vec<RestrictedTree> {
+    let _span = routing_obs::span("clusters");
     routing_par::par_map_scratch(
         g.n(),
         || SearchScratch::for_graph(g),
@@ -157,6 +159,7 @@ pub fn all_clusters(g: &Graph, landmarks: &Landmarks) -> Vec<RestrictedTree> {
 /// Inverts clusters into bunches: `bunches(g, clusters)[v]` lists every
 /// `(w, d(w, v))` with `w ∈ B_A(v)`, sorted by distance then id.
 pub fn bunches(g: &Graph, clusters: &[RestrictedTree]) -> Vec<Vec<(VertexId, Weight)>> {
+    let _span = routing_obs::span("bunches");
     let mut out: Vec<Vec<(VertexId, Weight)>> = vec![Vec::new(); g.n()];
     for tree in clusters {
         let w = tree.root();
