@@ -68,6 +68,7 @@ pub struct TzHierarchy {
     bunches: Vec<Vec<(VertexId, Weight)>>,
     /// The cluster tree `T(w)` of every vertex `w` (rooted at `w`, spanning
     /// `C(w)` with respect to `w`'s level).
+    // lint:allow(det-hash-iter): keyed lookup by pivot at query time; never iterated
     cluster_trees: HashMap<VertexId, TreeScheme>,
 }
 
@@ -171,6 +172,7 @@ impl TzHierarchy {
                 (scratch.order().to_vec(), tree)
             },
         );
+        // lint:allow(det-hash-iter): filled in vertex order, read by key; never iterated
         let mut cluster_trees = HashMap::with_capacity(n);
         let mut bunches: Vec<Vec<(VertexId, Weight)>> = vec![Vec::new(); n];
         for (w, (members, tree)) in per_w.into_iter().enumerate() {

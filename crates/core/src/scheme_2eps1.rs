@@ -108,8 +108,10 @@ pub struct SchemeTwoPlusEps {
     /// Bunch of every vertex: `B_A(v)` with distances.
     bunch_of: Vec<Vec<(VertexId, Weight)>>,
     /// Global trees `T(a)` for every landmark `a`.
+    // lint:allow(det-hash-iter): keyed lookup by landmark; the only iteration is an order-independent usize sum of table words
     global_trees: HashMap<VertexId, TreeScheme>,
     /// At `u`: destination `v` -> best intersection vertex `w`.
+    // lint:allow(det-hash-iter): keyed lookup at query time; len() is the only whole-map read
     best_intersection: Vec<HashMap<VertexId, VertexId>>,
     color_of: Vec<u32>,
     /// At `u`, per color: `(representative, d(u, representative))`.
@@ -171,6 +173,7 @@ impl SchemeTwoPlusEps {
                     .map_err(|e| BuildError::TooSmall { what: e.to_string() })
             },
         );
+        // lint:allow(det-hash-iter): filled in sorted landmark order, read by key (see the field pragma)
         let mut global_trees = HashMap::with_capacity(landmarks.len());
         for (&a, tree) in landmarks.members().iter().zip(built) {
             global_trees.insert(a, tree?);
@@ -179,7 +182,9 @@ impl SchemeTwoPlusEps {
 
         // Best intersection vertex per (u, v) with B(u, q̃) ∩ B_A(v) != ∅.
         let span_ix = routing_obs::span("intersections");
+        // lint:allow(det-hash-iter): per-destination best is keyed; ties broken by explicit comparison below, not visit order
         let mut best_intersection: Vec<HashMap<VertexId, VertexId>> = vec![HashMap::new(); n];
+        // lint:allow(det-hash-iter): keyed min-tracking companion of best_intersection; never iterated
         let mut best_sum: Vec<HashMap<VertexId, Weight>> = vec![HashMap::new(); n];
         for u in g.vertices() {
             for &(w, d_uw) in balls.ball(u).members() {

@@ -101,6 +101,7 @@ pub struct SchemeFivePlusEps {
     cluster_trees: Vec<TreeScheme>,
     bunch_of: Vec<Vec<(VertexId, routing_graph::Weight)>>,
     /// `α(a)` for every landmark `a`: its set in the destination partition.
+    // lint:allow(det-hash-iter): keyed lookup at query time; never iterated
     alpha_of: std::collections::HashMap<VertexId, u32>,
     color_of: Vec<u32>,
     color_rep: Vec<Vec<VertexId>>,
@@ -188,6 +189,7 @@ impl SchemeFivePlusEps {
 
         // Arbitrary balanced partition W of the landmark set A.
         let mut dest_partition: Vec<Vec<VertexId>> = vec![Vec::new(); q as usize];
+        // lint:allow(det-hash-iter): filled in sorted landmark order, read by key; never iterated
         let mut alpha_of = std::collections::HashMap::new();
         for (i, &a) in landmarks.members().iter().enumerate() {
             let j = (i % q as usize) as u32;

@@ -128,6 +128,7 @@ pub fn barabasi_albert<R: Rng>(n: usize, attach: usize, weights: WeightModel, rn
         }
     }
     for v in seed..n {
+        // lint:allow(det-hash-iter): duplicate-check membership only; edges are emitted in the seeded sampling order, not set order
         let mut targets = std::collections::HashSet::new();
         let mut guard = 0;
         while targets.len() < attach.min(v) && guard < 50 * attach {

@@ -55,8 +55,11 @@ pub fn dijkstra_alloc(g: &Graph, source: VertexId) -> ShortestPathTree {
 pub fn ball_hashmap(g: &Graph, u: VertexId, ell: usize) -> Ball {
     let ell = ell.max(1);
     let n = g.n();
+    // lint:allow(det-hash-iter): reference impl kept for kernel identity tests; keyed lookups only, members emitted in heap settle order
     let mut dist: HashMap<VertexId, Weight> = HashMap::new();
+    // lint:allow(det-hash-iter): keyed lookups only, never iterated
     let mut first_hop: HashMap<VertexId, Option<VertexId>> = HashMap::new();
+    // lint:allow(det-hash-iter): keyed lookups only, never iterated
     let mut settled: HashMap<VertexId, bool> = HashMap::new();
     let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
 
@@ -155,8 +158,11 @@ pub fn multi_source_alloc(g: &Graph, sources: &[VertexId]) -> MultiSourceShortes
 /// [`crate::shortest_path::cluster_dijkstra`].
 pub fn cluster_dijkstra_hashmap(g: &Graph, w: VertexId, bound: &[Weight]) -> RestrictedTree {
     assert_eq!(bound.len(), g.n(), "bound slice must have one entry per vertex");
+    // lint:allow(det-hash-iter): reference impl kept for kernel identity tests; keyed lookups only, members emitted in heap settle order
     let mut dist: HashMap<VertexId, Weight> = HashMap::new();
+    // lint:allow(det-hash-iter): keyed lookups only; RestrictedTree reads it per child, never by iteration
     let mut parent: HashMap<VertexId, Option<VertexId>> = HashMap::new();
+    // lint:allow(det-hash-iter): keyed lookups only, never iterated
     let mut settled: HashMap<VertexId, bool> = HashMap::new();
     let mut heap: BinaryHeap<Reverse<(Weight, VertexId)>> = BinaryHeap::new();
     let mut members = Vec::new();

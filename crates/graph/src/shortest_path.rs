@@ -217,6 +217,7 @@ pub struct Ball {
     /// First hop from the center towards each member (`None` for the center).
     first_hops: Vec<Option<VertexId>>,
     /// Member -> index in `members`.
+    // lint:allow(det-hash-iter): membership lookup only; enumeration always goes through the settle-ordered `members` vec
     index: HashMap<VertexId, usize>,
     /// The radius `r_u(ℓ)` (see `Ball::radius`).
     radius: Weight,
@@ -379,6 +380,7 @@ pub struct RestrictedTree {
     /// `(distance, id)` settle order.
     members: Vec<(VertexId, Weight)>,
     /// Parent of each member inside the cluster tree (`None` for the root).
+    // lint:allow(det-hash-iter): keyed parent lookups only; tree traversals walk the settle-ordered `members` vec
     parent: HashMap<VertexId, Option<VertexId>>,
 }
 
@@ -386,6 +388,7 @@ impl RestrictedTree {
     pub(crate) fn from_parts(
         root: VertexId,
         members: Vec<(VertexId, Weight)>,
+        // lint:allow(det-hash-iter): stored as the keyed parent lookup above
         parent: HashMap<VertexId, Option<VertexId>>,
     ) -> Self {
         RestrictedTree { root, members, parent }

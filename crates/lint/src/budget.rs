@@ -1,0 +1,166 @@
+//! The committed lint budget and its ratchet semantics.
+//!
+//! `lint-budget.txt` at the workspace root records, per `(crate, rule)`, how
+//! many findings the tree is *allowed* to carry: pragma-justified
+//! determinism sites plus raw non-hot-path panic sites. CI compares the
+//! current counts against the committed file:
+//!
+//! * current > committed ⇒ **error** — the budget never grows silently;
+//! * current < committed ⇒ **warning** suggesting `--update-budget` — the
+//!   ratchet should be tightened to lock in the improvement;
+//! * `--update-budget` rewrites the file to the current counts.
+//!
+//! Hot-path panic findings and un-pragma'd determinism findings are hard
+//! errors and never appear here — the budget tracks the *justified* residue,
+//! not an escape hatch.
+
+use std::collections::BTreeMap;
+
+use crate::rules::{Finding, PANIC_HOT_PATH, Severity};
+
+/// Budget key: `(crate, rule)`. BTreeMap keeps the file and the comparison
+/// deterministic.
+pub type BudgetMap = BTreeMap<(String, String), usize>;
+
+const HEADER: &str = "\
+# Lint budget: allowed findings per (crate, rule), maintained by
+# `cargo run -p routing-lint -- --update-budget`. CI fails if any count
+# grows; shrinking counts produce a suggestion to re-run --update-budget.
+# Format: <crate> <rule> <count>, sorted.
+";
+
+/// Tallies budgeted findings (everything with `Severity::Allowed`).
+pub fn current_counts(findings: &[Finding]) -> BudgetMap {
+    let mut map = BudgetMap::new();
+    for f in findings {
+        debug_assert!(f.rule != PANIC_HOT_PATH || f.severity == Severity::Error);
+        if f.severity == Severity::Allowed {
+            *map.entry((f.krate.clone(), f.rule.to_string())).or_insert(0) += 1;
+        }
+    }
+    map
+}
+
+/// Parses a budget file. Lines: `<crate> <rule> <count>`; `#` comments and
+/// blank lines ignored. Returns `Err` with a description on malformed lines.
+pub fn parse(text: &str) -> Result<BudgetMap, String> {
+    let mut map = BudgetMap::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(krate), Some(rule), Some(count), None) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            return Err(format!("line {}: expected `<crate> <rule> <count>`", i + 1));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("line {}: count `{count}` is not a number", i + 1))?;
+        if map.insert((krate.to_string(), rule.to_string()), count).is_some() {
+            return Err(format!("line {}: duplicate entry for {krate} {rule}", i + 1));
+        }
+    }
+    Ok(map)
+}
+
+/// Serializes a budget map in the committed format.
+pub fn render(map: &BudgetMap) -> String {
+    let mut out = String::from(HEADER);
+    for ((krate, rule), count) in map {
+        out.push_str(&format!("{krate} {rule} {count}\n"));
+    }
+    out
+}
+
+/// Compares current counts against the committed budget, appending findings.
+pub fn compare(current: &BudgetMap, committed: &BudgetMap, findings: &mut Vec<Finding>) {
+    let mut keys: Vec<&(String, String)> = current.keys().chain(committed.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    for key in keys {
+        let (krate, rule) = key;
+        let now = *current.get(key).unwrap_or(&0);
+        let budget = *committed.get(key).unwrap_or(&0);
+        if now > budget {
+            findings.push(Finding {
+                rule: crate::rules::PANIC_BUDGET,
+                krate: krate.clone(),
+                file: "lint-budget.txt".to_string(),
+                line: 0,
+                severity: Severity::Error,
+                message: format!(
+                    "budget exceeded for ({krate}, {rule}): {now} findings > committed {budget}"
+                ),
+                reason: None,
+            });
+        } else if now < budget {
+            findings.push(Finding {
+                rule: crate::rules::PANIC_BUDGET,
+                krate: krate.clone(),
+                file: "lint-budget.txt".to_string(),
+                line: 0,
+                severity: Severity::Warning,
+                message: format!(
+                    "budget slack for ({krate}, {rule}): {now} findings < committed {budget}; \
+                     run `cargo run -p routing-lint -- --update-budget` to ratchet down"
+                ),
+                reason: None,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn allowed(krate: &str, rule: &'static str) -> Finding {
+        Finding {
+            rule,
+            krate: krate.to_string(),
+            file: "x.rs".to_string(),
+            line: 1,
+            severity: Severity::Allowed,
+            message: String::new(),
+            reason: None,
+        }
+    }
+
+    #[test]
+    fn roundtrip() {
+        let f = vec![
+            allowed("a", crate::rules::PANIC_BUDGET),
+            allowed("a", crate::rules::PANIC_BUDGET),
+            allowed("b", crate::rules::DET_HASH_ITER),
+        ];
+        let map = current_counts(&f);
+        let parsed = parse(&render(&map)).unwrap();
+        assert_eq!(map, parsed);
+        assert_eq!(parsed[&("a".to_string(), "panic-budget".to_string())], 2);
+    }
+
+    #[test]
+    fn increase_is_error_decrease_is_warning() {
+        let current = current_counts(&[allowed("a", crate::rules::PANIC_BUDGET)]);
+        let committed = parse("a panic-budget 2\nb det-hash-iter 0\n").unwrap();
+        let mut findings = Vec::new();
+        compare(&current, &committed, &mut findings);
+        assert!(findings.iter().any(|f| f.severity == Severity::Warning));
+        assert!(!findings.iter().any(|f| f.severity == Severity::Error));
+
+        let committed = parse("a panic-budget 0\n").unwrap();
+        let mut findings = Vec::new();
+        compare(&current, &committed, &mut findings);
+        assert!(findings.iter().any(|f| f.severity == Severity::Error));
+    }
+
+    #[test]
+    fn malformed_budget_rejected() {
+        assert!(parse("a panic-budget notanumber\n").is_err());
+        assert!(parse("a panic-budget\n").is_err());
+        assert!(parse("a panic-budget 1\na panic-budget 2\n").is_err());
+    }
+}

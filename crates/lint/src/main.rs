@@ -1,0 +1,114 @@
+//! `lint` — the workspace static-analysis binary.
+//!
+//! ```text
+//! cargo run -p routing-lint -- [--root DIR] [--deny-warnings]
+//!                              [--update-budget] [--json PATH]
+//! ```
+//!
+//! Exit codes: 0 clean (warnings allowed unless denied), 1 findings failed
+//! the run, 2 usage error.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use routing_lint::{find_root, report, run_workspace, Options};
+
+const USAGE: &str = "\
+usage: lint [--root DIR] [--deny-warnings] [--update-budget] [--json PATH]
+  --root DIR        workspace root (default: auto-detect from CWD)
+  --deny-warnings   promote warnings (budget slack, unused pragmas) to failures
+  --update-budget   rewrite lint-budget.txt to the current counts
+  --json PATH       also write a machine-readable JSON report
+";
+
+fn main() -> ExitCode {
+    let mut options = Options::default();
+    let mut root_arg: Option<PathBuf> = None;
+    let mut json_path: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--deny-warnings" => options.deny_warnings = true,
+            "--update-budget" => options.update_budget = true,
+            "--root" => match args.next() {
+                Some(d) => root_arg = Some(PathBuf::from(d)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(PathBuf::from(p)),
+                None => return usage_error("--json needs a path"),
+            },
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage_error(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let root = match root_arg.or_else(|| {
+        std::env::current_dir().ok().and_then(|cwd| find_root(&cwd))
+    }) {
+        Some(r) => r,
+        None => {
+            eprintln!("lint: cannot locate the workspace root; pass --root DIR");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = run_workspace(&root, &options);
+
+    if let Some(path) = json_path {
+        let json = report::to_json(
+            &outcome.findings,
+            &outcome.current_budget,
+            &outcome.committed_budget,
+        );
+        match serde_json::to_string_pretty(&json) {
+            Ok(text) => {
+                if let Err(e) = std::fs::write(&path, text) {
+                    eprintln!("lint: cannot write {}: {e}", path.display());
+                    return ExitCode::from(2);
+                }
+            }
+            Err(e) => {
+                eprintln!("lint: JSON serialization failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    print!("{}", report::render_human(&outcome.findings, options.deny_warnings));
+    if options.update_budget {
+        println!(
+            "lint: wrote lint-budget.txt ({} budget rows)",
+            outcome.current_budget.len()
+        );
+    } else {
+        // Show the budget position so a green run still reports the ratchet.
+        let spent: usize = outcome.current_budget.values().sum();
+        let cap: usize = outcome.committed_budget.values().sum();
+        println!("lint: budget position {spent}/{cap} across {} (crate, rule) rows",
+            budget_rows(&outcome));
+    }
+    ExitCode::from(outcome.exit_code as u8)
+}
+
+fn budget_rows(outcome: &routing_lint::Outcome) -> usize {
+    let mut keys: Vec<&(String, String)> = outcome
+        .current_budget
+        .keys()
+        .chain(outcome.committed_budget.keys())
+        .collect();
+    keys.sort();
+    keys.dedup();
+    keys.len()
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("lint: {msg}");
+    eprint!("{USAGE}");
+    ExitCode::from(2)
+}

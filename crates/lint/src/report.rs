@@ -1,0 +1,121 @@
+//! Human-readable and JSON rendering of a lint run.
+
+use serde::Serialize;
+
+use crate::budget::BudgetMap;
+use crate::rules::{Finding, Severity};
+
+/// JSON shape of one finding (flat strings/numbers only — keeps the vendored
+/// derive happy and the report easy to consume from scripts).
+#[derive(Serialize)]
+pub struct JsonFinding {
+    pub rule: String,
+    pub krate: String,
+    pub file: String,
+    pub line: usize,
+    pub severity: String,
+    pub message: String,
+    pub reason: Option<String>,
+}
+
+/// JSON shape of one budget row.
+#[derive(Serialize)]
+pub struct JsonBudgetRow {
+    pub krate: String,
+    pub rule: String,
+    pub current: usize,
+    pub committed: usize,
+}
+
+/// Top-level JSON report.
+#[derive(Serialize)]
+pub struct JsonReport {
+    pub errors: usize,
+    pub warnings: usize,
+    pub allowed: usize,
+    pub findings: Vec<JsonFinding>,
+    pub budget: Vec<JsonBudgetRow>,
+}
+
+fn severity_str(s: Severity) -> &'static str {
+    match s {
+        Severity::Error => "error",
+        Severity::Warning => "warning",
+        Severity::Allowed => "allowed",
+    }
+}
+
+/// Counts findings by severity: `(errors, warnings, allowed)`.
+pub fn tally(findings: &[Finding]) -> (usize, usize, usize) {
+    let mut e = 0;
+    let mut w = 0;
+    let mut a = 0;
+    for f in findings {
+        match f.severity {
+            Severity::Error => e += 1,
+            Severity::Warning => w += 1,
+            Severity::Allowed => a += 1,
+        }
+    }
+    (e, w, a)
+}
+
+/// Builds the JSON report structure.
+pub fn to_json(findings: &[Finding], current: &BudgetMap, committed: &BudgetMap) -> JsonReport {
+    let (errors, warnings, allowed) = tally(findings);
+    let mut keys: Vec<&(String, String)> = current.keys().chain(committed.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    JsonReport {
+        errors,
+        warnings,
+        allowed,
+        findings: findings
+            .iter()
+            .map(|f| JsonFinding {
+                rule: f.rule.to_string(),
+                krate: f.krate.clone(),
+                file: f.file.clone(),
+                line: f.line,
+                severity: severity_str(f.severity).to_string(),
+                message: f.message.clone(),
+                reason: f.reason.clone(),
+            })
+            .collect(),
+        budget: keys
+            .into_iter()
+            .map(|k| JsonBudgetRow {
+                krate: k.0.clone(),
+                rule: k.1.clone(),
+                current: *current.get(k).unwrap_or(&0),
+                committed: *committed.get(k).unwrap_or(&0),
+            })
+            .collect(),
+    }
+}
+
+/// Renders the human report: errors and warnings one per line, then a
+/// summary. `Allowed` findings are summarized, not listed (they are the
+/// justified steady state, visible in full via `--json`).
+pub fn render_human(findings: &[Finding], deny_warnings: bool) -> String {
+    let mut out = String::new();
+    for f in findings {
+        if f.severity == Severity::Allowed {
+            continue;
+        }
+        let loc = if f.line > 0 { format!("{}:{}", f.file, f.line) } else { f.file.clone() };
+        out.push_str(&format!(
+            "{}[{}] {}: {}\n",
+            severity_str(f.severity),
+            f.rule,
+            loc,
+            f.message
+        ));
+    }
+    let (errors, warnings, allowed) = tally(findings);
+    out.push_str(&format!(
+        "lint: {errors} error(s), {warnings} warning(s){}, {allowed} allowed finding(s) within budget\n",
+        if deny_warnings && warnings > 0 { " (denied)" } else { "" }
+    ));
+    out
+}

@@ -1,0 +1,130 @@
+//! Tier-1 gate: the shipped workspace passes `routing-lint` with warnings
+//! denied, and the budget ratchet behaves end-to-end — growing a committed
+//! count fails the run, shrinking one produces a re-ratchet suggestion.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use routing_lint::rules::{self, Severity};
+use routing_lint::{run_workspace, Options};
+
+fn workspace_root() -> PathBuf {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.canonicalize().expect("workspace root resolves")
+}
+
+/// Restores the budget file's original bytes even if an assertion panics.
+struct BudgetGuard {
+    path: PathBuf,
+    original: String,
+}
+
+impl BudgetGuard {
+    fn new(root: &Path) -> Self {
+        let path = root.join("lint-budget.txt");
+        let original = fs::read_to_string(&path).expect("lint-budget.txt is committed");
+        BudgetGuard { path, original }
+    }
+}
+
+impl Drop for BudgetGuard {
+    fn drop(&mut self) {
+        fs::write(&self.path, &self.original).expect("restore lint-budget.txt");
+    }
+}
+
+/// Rewrites one budget row's count by `delta`, returning the patched text.
+fn patch_first_row(original: &str, delta: i64) -> String {
+    let mut patched = Vec::new();
+    let mut done = false;
+    for line in original.lines() {
+        if !done && !line.starts_with('#') && !line.trim().is_empty() {
+            let mut parts: Vec<&str> = line.split_whitespace().collect();
+            let count: i64 = parts[2].parse().expect("count column parses");
+            let new_count = (count + delta).max(0).to_string();
+            parts[2] = &new_count;
+            patched.push(parts.join(" "));
+            done = true;
+        } else {
+            patched.push(line.to_string());
+        }
+    }
+    assert!(done, "budget file has at least one data row");
+    patched.join("\n") + "\n"
+}
+
+/// One sequential test: the interleavings all read/write the same committed
+/// `lint-budget.txt`, so they must not run as parallel `#[test]`s.
+#[test]
+fn workspace_lint_and_budget_ratchet() {
+    let root = workspace_root();
+    let opts = Options { deny_warnings: true, update_budget: false };
+
+    // (1) The shipped tree is clean under --deny-warnings.
+    let outcome = run_workspace(&root, &opts);
+    let loud: Vec<String> = outcome
+        .findings
+        .iter()
+        .filter(|f| f.severity != Severity::Allowed)
+        .map(|f| format!("{}[{}] {}:{}: {}", match f.severity {
+            Severity::Error => "error",
+            Severity::Warning => "warning",
+            Severity::Allowed => "allowed",
+        }, f.rule, f.file, f.line, f.message))
+        .collect();
+    assert!(loud.is_empty(), "shipped tree must lint clean, got:\n{}", loud.join("\n"));
+    assert_eq!(outcome.exit_code, 0);
+    assert_eq!(outcome.current_budget, outcome.committed_budget);
+
+    // (2) Hot-path modules carry a hard zero panic budget: no finding of the
+    // panic-hot-path rule exists at any severity.
+    assert!(
+        outcome.findings.iter().all(|f| f.rule != rules::PANIC_HOT_PATH),
+        "hot-path panic findings must be impossible on the shipped tree"
+    );
+
+    let guard = BudgetGuard::new(&root);
+
+    // (3) Ratchet down a committed count: the tree now exceeds the budget,
+    // which is a hard error (non-zero exit) even without --deny-warnings.
+    fs::write(&guard.path, patch_first_row(&guard.original, -1)).unwrap();
+    let over = run_workspace(&root, &Options::default());
+    assert_eq!(over.exit_code, 1, "shrunken budget must fail the run");
+    assert!(
+        over.findings.iter().any(|f| f.severity == Severity::Error
+            && f.rule == rules::PANIC_BUDGET
+            && f.message.contains("budget exceeded")),
+        "expected a budget-exceeded error"
+    );
+
+    // (4) Ratchet up a committed count: the tree is under budget, which is a
+    // suggestion (warning) to re-run --update-budget — fatal only under
+    // --deny-warnings, so CI forces the ratchet to actually tighten.
+    fs::write(&guard.path, patch_first_row(&guard.original, 1)).unwrap();
+    let under = run_workspace(&root, &Options::default());
+    assert_eq!(under.exit_code, 0, "slack budget alone must not fail a non-CI run");
+    assert!(
+        under.findings.iter().any(|f| f.severity == Severity::Warning
+            && f.message.contains("--update-budget")),
+        "expected a re-ratchet suggestion warning"
+    );
+    let under_ci = run_workspace(&root, &opts);
+    assert_eq!(under_ci.exit_code, 1, "--deny-warnings must make budget slack fatal");
+
+    drop(guard);
+
+    // (5) Restored file is byte-identical and the tree is green again.
+    let restored = run_workspace(&root, &opts);
+    assert_eq!(restored.exit_code, 0);
+}
+
+/// `render`/`parse` round-trip the live budget map exactly.
+#[test]
+fn budget_render_parse_roundtrip() {
+    use routing_lint::budget;
+    let root = workspace_root();
+    let outcome = run_workspace(&root, &Options::default());
+    let rendered = budget::render(&outcome.current_budget);
+    let reparsed = budget::parse(&rendered).expect("rendered budget reparses");
+    assert_eq!(reparsed, outcome.current_budget);
+}

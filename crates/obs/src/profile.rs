@@ -320,6 +320,20 @@ fn hook_worker_end() {
     flush_local();
 }
 
+/// Names the fork site for worker-panic attribution: the span path open at
+/// the fork (e.g. `build/balls`) when profiling is on, `None` otherwise —
+/// the executor then falls back to the caller's source location.
+fn hook_fork_name() -> Option<String> {
+    if !profiling_enabled() {
+        return None;
+    }
+    let path = COLLECTOR.with(|c| c.borrow().current_path());
+    if path.is_empty() {
+        return None;
+    }
+    Some(path.join("/"))
+}
+
 fn install_par_hooks() {
     static INSTALLED: OnceLock<()> = OnceLock::new();
     INSTALLED.get_or_init(|| {
@@ -327,6 +341,7 @@ fn install_par_hooks() {
             fork: hook_fork,
             worker_start: hook_worker_start,
             worker_end: hook_worker_end,
+            fork_name: hook_fork_name,
         });
     });
 }

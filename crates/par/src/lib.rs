@@ -71,6 +71,12 @@ pub struct ParHooks {
     /// Called on each worker thread after its last chunk, before the scope
     /// joins it (the observer's last chance to flush thread-local state).
     pub worker_end: fn(),
+    /// Called once on the caller's thread at fork time: a human-readable
+    /// name for the fork site (e.g. the open span path in the profiler),
+    /// used to attribute worker panics. `None` when the observer has no
+    /// name to offer — the executor then falls back to the caller's
+    /// source location.
+    pub fork_name: fn() -> Option<String>,
 }
 
 static HOOKS: OnceLock<ParHooks> = OnceLock::new();
@@ -114,6 +120,7 @@ pub fn threads() -> usize {
 /// Equivalent to `(0..n).map(f).collect()` — including byte-for-byte when
 /// `f` is pure — but wall-clock scales with the core count. Panics in `f`
 /// propagate to the caller (the scope re-raises them on join).
+#[track_caller]
 pub fn par_map_index<U, F>(n: usize, f: F) -> Vec<U>
 where
     U: Send,
@@ -125,6 +132,7 @@ where
 /// [`par_map_index`] with an explicit thread count, ignoring the global
 /// setting. Used by the scaling harness to compare `threads=1` against
 /// `threads=T` inside one process without racing on the global.
+#[track_caller]
 pub fn par_map_index_with<U, F>(threads: usize, n: usize, f: F) -> Vec<U>
 where
     U: Send,
@@ -137,6 +145,7 @@ where
 
 /// Applies `f` to every element of `items` in parallel, returning results in
 /// input order. See [`par_map_index`] for the determinism guarantee.
+#[track_caller]
 pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
 where
     T: Sync,
@@ -161,6 +170,7 @@ where
 /// for every (freshly initialized or reused) scratch — which epoch-stamped
 /// workspaces guarantee — the output is byte-for-byte identical to the
 /// sequential `(0..n).map(...)` for every thread count.
+#[track_caller]
 pub fn par_map_scratch<S, U, I, F>(n: usize, init: I, f: F) -> Vec<U>
 where
     U: Send,
@@ -173,12 +183,14 @@ where
 /// [`par_map_scratch`] with an explicit thread count, ignoring the global
 /// setting (the harness uses this to compare `threads=1` against
 /// `threads=T` inside one process).
+#[track_caller]
 pub fn par_map_scratch_with<S, U, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<U>
 where
     U: Send,
     I: Fn() -> S + Sync,
     F: Fn(&mut S, usize) -> U + Sync,
 {
+    let caller = std::panic::Location::caller();
     let workers = threads.max(1).min(n);
     if workers <= 1 {
         let mut scratch = init();
@@ -194,30 +206,52 @@ where
     // par-call when no observer is installed.
     let hooks = HOOKS.get();
     let fork_token = hooks.map_or(0, |h| (h.fork)());
+    // Fork-site name for panic attribution: the observer's span path when
+    // one is open, else the caller's source location (via #[track_caller]).
+    let fork_name = hooks.and_then(|h| (h.fork_name)());
     std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| {
-                if let Some(h) = hooks {
-                    (h.worker_start)(fork_token);
-                }
-                let mut scratch = init();
-                let mut local: Vec<(usize, Vec<U>)> = Vec::new();
-                loop {
-                    let start = counter.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= n {
-                        break;
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    if let Some(h) = hooks {
+                        (h.worker_start)(fork_token);
                     }
-                    let end = (start + chunk).min(n);
-                    local.push((start, (start..end).map(|i| f(&mut scratch, i)).collect()));
-                }
-                done.lock().expect("no panicked holder").extend(local);
-                if let Some(h) = hooks {
-                    (h.worker_end)();
-                }
-            });
+                    let mut scratch = init();
+                    let mut local: Vec<(usize, Vec<U>)> = Vec::new();
+                    loop {
+                        let start = counter.fetch_add(chunk, Ordering::Relaxed);
+                        if start >= n {
+                            break;
+                        }
+                        let end = (start + chunk).min(n);
+                        local.push((start, (start..end).map(|i| f(&mut scratch, i)).collect()));
+                    }
+                    // Poison-tolerant: the Vec under the mutex is never left
+                    // half-updated (extend appends whole chunks), and a
+                    // panicked sibling is re-raised below anyway.
+                    done.lock().unwrap_or_else(|p| p.into_inner()).extend(local);
+                    if let Some(h) = hooks {
+                        (h.worker_end)();
+                    }
+                })
+            })
+            .collect();
+        // Explicit joins so a worker panic is re-raised *named*: the bare
+        // scope join would propagate an anonymous "scoped thread panicked".
+        for handle in handles {
+            if let Err(payload) = handle.join() {
+                let detail = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_string())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_string());
+                let site = fork_name.clone().unwrap_or_else(|| caller.to_string());
+                // lint:allow(panic-budget): deliberate propagation — a worker panic must surface at the fork site, now attributably
+                panic!("worker panicked at fork site `{site}`: {detail}");
+            }
         }
     });
-    let mut chunks = done.into_inner().expect("scope joined every worker");
+    let mut chunks = done.into_inner().unwrap_or_else(|p| p.into_inner());
     chunks.sort_unstable_by_key(|&(start, _)| start);
     debug_assert_eq!(chunks.iter().map(|(_, c)| c.len()).sum::<usize>(), n);
     let mut out = Vec::with_capacity(n);
@@ -304,7 +338,7 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "scoped thread panicked")]
+    #[should_panic(expected = "worker panicked at fork site")]
     fn worker_panics_propagate() {
         let _ = par_map_index_with(4, 64, |i| {
             if i == 33 {
@@ -312,5 +346,38 @@ mod tests {
             }
             i
         });
+    }
+
+    #[test]
+    #[should_panic(expected = "boom")]
+    fn worker_panic_payload_is_preserved_in_message() {
+        let _ = par_map_index_with(2, 16, |i| {
+            if i == 7 {
+                panic!("boom");
+            }
+            i
+        });
+    }
+
+    #[test]
+    fn fork_site_names_the_caller_location_without_hooks() {
+        // No observer hooks installed in this test binary, so the fork-site
+        // name must fall back to this file's #[track_caller] location.
+        let result = std::panic::catch_unwind(|| {
+            let _ = par_map_index_with(2, 8, |i| {
+                if i == 3 {
+                    panic!("kapow");
+                }
+                i
+            });
+        });
+        let payload = result.expect_err("worker panic must propagate");
+        let msg = payload
+            .downcast_ref::<String>()
+            .cloned()
+            .expect("renamed panic carries a String payload");
+        assert!(msg.contains("fork site"), "{msg}");
+        assert!(msg.contains("lib.rs"), "fallback names the caller file: {msg}");
+        assert!(msg.contains("kapow"), "original payload preserved: {msg}");
     }
 }

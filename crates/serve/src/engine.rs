@@ -74,6 +74,13 @@ pub enum ServeError {
     /// The scheme failed to route the query (a scheme bug, surfaced rather
     /// than swallowed).
     Route(RouteError),
+    /// The OS refused to spawn a shard worker thread at engine startup
+    /// (resource exhaustion; the underlying `io::Error` is not carried
+    /// because `ServeError` is `Clone + Eq` for cross-channel reporting).
+    WorkerSpawn {
+        /// The shard whose worker could not be spawned.
+        shard: usize,
+    },
 }
 
 impl std::fmt::Display for ServeError {
@@ -91,6 +98,9 @@ impl std::fmt::Display for ServeError {
                 write!(f, "shard {shard} is unavailable (worker thread exited)")
             }
             ServeError::Route(e) => write!(f, "routing failed: {e}"),
+            ServeError::WorkerSpawn { shard } => {
+                write!(f, "failed to spawn the worker thread for shard {shard}")
+            }
         }
     }
 }
@@ -261,7 +271,7 @@ impl ShardedEngine {
             let handle = std::thread::Builder::new()
                 .name(format!("serve-shard-{shard}"))
                 .spawn(move || worker(shard, rx, cell, config))
-                .expect("spawning a shard worker thread");
+                .map_err(|_| ServeError::WorkerSpawn { shard })?;
             senders.push(tx);
             handles.push(handle);
         }
@@ -335,7 +345,13 @@ impl ShardedEngine {
     ///
     /// As [`ShardedEngine::route_batch`].
     pub fn route(&self, source: VertexId, dest: VertexId) -> Result<RouteAnswer, ServeError> {
-        self.route_batch(&[(source, dest)]).pop().expect("one answer per query")
+        // route_batch returns exactly one answer per input pair; an empty
+        // vector here is impossible, but the hot path answers with an error
+        // rather than panicking.
+        match self.route_batch(&[(source, dest)]).pop() {
+            Some(answer) => answer,
+            None => Err(ServeError::ShardUnavailable { shard: 0 }),
+        }
     }
 
     /// Routes a batch of `(source, destination)` queries and returns one
@@ -382,7 +398,9 @@ impl ShardedEngine {
                         out[job.slot] = Some(Err(ServeError::ShardUnavailable { shard }));
                     }
                 }
-                Err(_) => unreachable!("only batches are sent here"),
+                // A send error hands back the message we just constructed,
+                // so it is always a Batch; nothing to attribute otherwise.
+                Err(mpsc::SendError(ShardMsg::Stats { .. })) => {}
             }
         }
         drop(reply_tx);
@@ -505,13 +523,17 @@ fn route_one(
             path: Some(out.path),
         });
     }
-    if cached.as_ref().map(|(d, _)| *d) != Some(job.dest) {
-        routing_obs::counters::SERVE_LABEL_CACHE_MISSES.inc();
-        *cached = Some((job.dest, scheme.label_of(job.dest)));
-    } else {
-        routing_obs::counters::SERVE_LABEL_CACHE_HITS.inc();
-    }
-    let label = &cached.as_ref().expect("label cached above").1;
+    let label = match cached {
+        Some((d, label)) if *d == job.dest => {
+            routing_obs::counters::SERVE_LABEL_CACHE_HITS.inc();
+            &*label
+        }
+        slot => {
+            routing_obs::counters::SERVE_LABEL_CACHE_MISSES.inc();
+            let label = scheme.label_of(job.dest);
+            &slot.insert((job.dest, label)).1
+        }
+    };
     let out = simulate_lean_with_label(g, scheme, job.source, job.dest, label, max_hops)?;
     Ok(RouteAnswer {
         weight: out.weight,

@@ -84,14 +84,20 @@ impl EpochCell {
 
     /// The currently published snapshot (cheap: two `Arc` clones under the
     /// read lock).
+    ///
+    /// Poison-tolerant: the slot always holds a complete snapshot — the
+    /// writer only replaces the whole value under the lock — so a publisher
+    /// that panicked elsewhere never leaves a torn state, and readers keep
+    /// serving the last published epoch.
     pub fn load(&self) -> SchemeSnapshot {
         routing_obs::counters::SERVE_SNAPSHOT_LOADS.inc();
-        self.slot.read().expect("no panicked publisher").clone()
+        self.slot.read().unwrap_or_else(|p| p.into_inner()).clone()
     }
 
-    /// The current epoch without cloning the snapshot.
+    /// The current epoch without cloning the snapshot. Poison-tolerant for
+    /// the same reason as [`EpochCell::load`].
     pub fn epoch(&self) -> u64 {
-        self.slot.read().expect("no panicked publisher").epoch
+        self.slot.read().unwrap_or_else(|p| p.into_inner()).epoch
     }
 
     /// Publishes a new snapshot, returning its epoch (previous epoch + 1).
@@ -102,7 +108,9 @@ impl EpochCell {
     /// always answered under one single epoch.
     pub fn publish(&self, graph: Arc<Graph>, scheme: Arc<dyn DynScheme>) -> u64 {
         routing_obs::counters::SERVE_EPOCH_SWAPS.inc();
-        let mut slot = self.slot.write().expect("no panicked publisher");
+        // Poison-tolerant like `load`: the whole-value store below cannot
+        // observe or create a torn snapshot.
+        let mut slot = self.slot.write().unwrap_or_else(|p| p.into_inner());
         let epoch = slot.epoch + 1;
         *slot = SchemeSnapshot { graph, scheme, epoch };
         epoch

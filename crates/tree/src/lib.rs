@@ -177,7 +177,9 @@ pub struct TreeScheme {
     name: String,
     root: VertexId,
     n_graph: usize,
+    // lint:allow(det-hash-iter): keyed lookups at query time only; never iterated
     nodes: HashMap<VertexId, TreeNodeInfo>,
+    // lint:allow(det-hash-iter): keyed lookups at query time only; never iterated
     labels: HashMap<VertexId, TreeLabel>,
 }
 
@@ -195,12 +197,14 @@ impl TreeScheme {
     pub fn from_parents(
         g: &Graph,
         root: VertexId,
+        // lint:allow(det-hash-iter): iterated only to populate per-child entries of `children`, whose lists are sorted before any order-sensitive use
         parents: &HashMap<VertexId, VertexId>,
     ) -> Result<Self, TreeBuildError> {
         if parents.contains_key(&root) {
             return Err(TreeBuildError::NotATree { what: format!("root {root} has a parent") });
         }
         // children lists
+        // lint:allow(det-hash-iter): every kids list is sort_unstable()d below, and per-key work in later iterations is order-independent
         let mut children: HashMap<VertexId, Vec<VertexId>> = HashMap::new();
         children.entry(root).or_default();
         for (&c, &p) in parents {
@@ -222,8 +226,11 @@ impl TreeScheme {
         }
 
         // Iterative DFS computing tin/tout and subtree sizes.
+        // lint:allow(det-hash-iter): keyed lookups only; DFS visit order is fixed by the sorted children lists, so every tin value is deterministic
         let mut tin: HashMap<VertexId, u32> = HashMap::new();
+        // lint:allow(det-hash-iter): keyed lookups only, deterministic values (see tin)
         let mut tout: HashMap<VertexId, u32> = HashMap::new();
+        // lint:allow(det-hash-iter): keyed lookups only, deterministic values (see tin)
         let mut size: HashMap<VertexId, u32> = HashMap::new();
         let mut clock = 0u32;
         let mut stack: Vec<(VertexId, usize)> = vec![(root, 0)];
@@ -260,6 +267,7 @@ impl TreeScheme {
         }
 
         // Node info: parent port + heavy child.
+        // lint:allow(det-hash-iter): filled per key from deterministic inputs; visit order of the fill loop cannot affect any entry
         let mut nodes: HashMap<VertexId, TreeNodeInfo> = HashMap::new();
         for (&v, kids) in &children {
             let parent_port = parents
@@ -276,6 +284,7 @@ impl TreeScheme {
         }
 
         // Labels: walk from each vertex up to the root collecting light edges.
+        // lint:allow(det-hash-iter): filled per key from deterministic inputs; visit order of the fill loop cannot affect any entry
         let mut labels: HashMap<VertexId, TreeLabel> = HashMap::new();
         for &v in children.keys() {
             let mut light_rev: Vec<(u32, Port)> = Vec::new();
@@ -309,6 +318,7 @@ impl TreeScheme {
     /// Propagates [`TreeBuildError`] (cannot occur for a well-formed SPT of
     /// `g`).
     pub fn from_spt(g: &Graph, spt: &ShortestPathTree) -> Result<Self, TreeBuildError> {
+        // lint:allow(det-hash-iter): consumed by from_parents, which is order-insensitive (children lists sorted there)
         let mut parents = HashMap::new();
         for (v, _) in spt.reachable() {
             if let Some(p) = spt.parent(v) {
@@ -326,6 +336,7 @@ impl TreeScheme {
     /// Propagates [`TreeBuildError`] (cannot occur for a well-formed cluster
     /// tree of `g`).
     pub fn from_restricted(g: &Graph, tree: &RestrictedTree) -> Result<Self, TreeBuildError> {
+        // lint:allow(det-hash-iter): consumed by from_parents, which is order-insensitive (children lists sorted there)
         let mut parents = HashMap::new();
         for &(v, _) in tree.members() {
             if let Some(Some(p)) = tree.parent(v) {
@@ -347,6 +358,7 @@ impl TreeScheme {
     /// Propagates [`TreeBuildError`] (cannot occur for a well-formed search
     /// on `g`).
     pub fn from_scratch(g: &Graph, scratch: &SearchScratch) -> Result<Self, TreeBuildError> {
+        // lint:allow(det-hash-iter): consumed by from_parents, which is order-insensitive (children lists sorted there)
         let mut parents = HashMap::with_capacity(scratch.order().len());
         for &(v, _) in scratch.order() {
             if let Some(p) = scratch.parent(v) {

@@ -204,6 +204,7 @@ pub fn sample_uniform<R: Rng>(g: &Graph, k: usize, rng: &mut R) -> Vec<VertexId>
 
 /// Membership map `vertex -> position` for a sorted landmark list; used by
 /// schemes that need to index per-landmark arrays.
+// lint:allow(det-hash-iter): position lookup over a sorted list; callers enumerate the list itself, never this map
 pub fn index_of(members: &[VertexId]) -> HashMap<VertexId, usize> {
     members.iter().enumerate().map(|(i, &v)| (v, i)).collect()
 }
