@@ -32,6 +32,7 @@
 //! | `--epsilon <E>` | `0.25` | stretch slack of the paper's schemes |
 //! | `--seed <S>` | `13` | master seed |
 //! | `--json <PATH>` | — | write every row as a JSON array (`BENCH_5.json` format) |
+//! | `--baseline <PATH>` | — | compare against a committed `BENCH_*.json`; exit non-zero on >10% QPS regression |
 //! | `--help` | — | print this table |
 //!
 //! The committed `BENCH_5.json` at the repository root is this binary's
@@ -51,7 +52,7 @@ use routing_graph::generators::{Family, WeightModel};
 use routing_graph::{reference, Graph, Port, VertexId};
 use routing_model::{sample_pairs_from, simulate};
 use routing_vicinity::BallTable;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 struct Options {
     sizes: Vec<usize>,
@@ -62,6 +63,7 @@ struct Options {
     epsilon: f64,
     seed: u64,
     json: Option<String>,
+    baseline: Option<String>,
 }
 
 impl Default for Options {
@@ -75,12 +77,13 @@ impl Default for Options {
             epsilon: 0.25,
             seed: 13,
             json: None,
+            baseline: None,
         }
     }
 }
 
 /// One measurement row of the perf baseline.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct Row {
     /// `"ball-kernel"` or `"scheme"`.
     kind: String,
@@ -113,7 +116,7 @@ struct Row {
 }
 
 /// One top-level build phase of a scheme row.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 struct PhaseMs {
     name: String,
     ms: f64,
@@ -140,6 +143,8 @@ OPTIONS:
   --epsilon <E>           epsilon of the paper's schemes         [default: 0.25]
   --seed <S>              master seed                            [default: 13]
   --json <PATH>           write all rows as a JSON array
+  --baseline <PATH>       compare to a committed BENCH_*.json; exit non-zero
+                          on a >10% QPS regression against any matching row
   --help                  show this help"
     );
 }
@@ -177,6 +182,7 @@ fn parse_options(registry: &SchemeRegistry) -> Options {
                     cli::ok_or_usage(cli::parse_value(&flag, &value, "expected an integer"), usage)
             }
             "--json" => opts.json = Some(value),
+            "--baseline" => opts.baseline = Some(value),
             _ => cli::die(CliError::UnknownFlag { flag }, usage),
         }
     }
@@ -347,6 +353,120 @@ fn print_row(r: &Row) {
     }
 }
 
+/// Parses a committed `BENCH_*.json` back into rows. The vendored
+/// `serde_json` stand-in has no typed deserializer, so the mapping from its
+/// untyped [`serde_json::Value`] tree is spelled out here.
+fn rows_from_json(text: &str) -> Result<Vec<Row>, String> {
+    let value = serde_json::from_str(text).map_err(|e| e.to_string())?;
+    let rows = value.as_seq().ok_or("expected a JSON array of rows")?;
+    rows.iter().map(row_from_value).collect()
+}
+
+fn row_from_value(v: &serde_json::Value) -> Result<Row, String> {
+    use serde_json::Value;
+    let f64_field = |key: &str| v.get(key).and_then(Value::as_f64);
+    let usize_field = |key: &str| v.get(key).and_then(Value::as_u64).map(|x| x as usize);
+    let phases = match v.get("phases") {
+        None | Some(Value::Null) => None,
+        Some(list) => Some(
+            list.as_seq()
+                .ok_or("phases must be an array")?
+                .iter()
+                .map(|p| {
+                    Ok(PhaseMs {
+                        name: p
+                            .get("name")
+                            .and_then(Value::as_str)
+                            .ok_or("phase missing name")?
+                            .to_string(),
+                        ms: p.get("ms").and_then(Value::as_f64).ok_or("phase missing ms")?,
+                    })
+                })
+                .collect::<Result<Vec<_>, String>>()?,
+        ),
+    };
+    Ok(Row {
+        kind: v.get("kind").and_then(Value::as_str).ok_or("row missing kind")?.to_string(),
+        n: usize_field("n").ok_or("row missing n")?,
+        m: usize_field("m").ok_or("row missing m")?,
+        scheme: v.get("scheme").and_then(Value::as_str).map(str::to_string),
+        ell: usize_field("ell"),
+        build_ms: f64_field("build_ms").ok_or("row missing build_ms")?,
+        reference_ms: f64_field("reference_ms"),
+        speedup: f64_field("speedup"),
+        identical: v.get("identical").and_then(Value::as_bool),
+        queries: usize_field("queries"),
+        route_ms: f64_field("route_ms"),
+        queries_per_sec: f64_field("queries_per_sec"),
+        phases,
+        phase_coverage: f64_field("phase_coverage"),
+    })
+}
+
+/// Compares this run's rows against a committed baseline file, printing a
+/// per-row delta (QPS for scheme rows, build time for the kernel row, plus a
+/// per-phase breakdown where both sides recorded one). Returns the number of
+/// scheme rows whose QPS regressed by more than 10%.
+fn compare_baseline(rows: &[Row], baseline: &[Row], path: &str) -> usize {
+    let mut regressions = 0usize;
+    let mut matched = 0usize;
+    println!("\nbaseline comparison against {path}:");
+    for r in rows {
+        let Some(b) =
+            baseline.iter().find(|b| b.kind == r.kind && b.n == r.n && b.scheme == r.scheme)
+        else {
+            continue;
+        };
+        matched += 1;
+        let what = r.scheme.as_deref().unwrap_or("ball-kernel");
+        if r.kind == "ball-kernel" {
+            println!(
+                "{:>6} {:<12} build {:>9.0}ms vs {:>9.0}ms ({:+.1}%)",
+                r.n,
+                what,
+                r.build_ms,
+                b.build_ms,
+                (r.build_ms / b.build_ms.max(1e-9) - 1.0) * 100.0,
+            );
+            continue;
+        }
+        let cur = r.queries_per_sec.unwrap_or(0.0);
+        let base = b.queries_per_sec.unwrap_or(0.0);
+        let regressed = base > 0.0 && cur < 0.9 * base;
+        if regressed {
+            regressions += 1;
+        }
+        println!(
+            "{:>6} {:<12} qps {:>9.0} vs {:>9.0} ({:+.1}%){}  build {:>8.0}ms vs {:>8.0}ms",
+            r.n,
+            what,
+            cur,
+            base,
+            if base > 0.0 { (cur / base - 1.0) * 100.0 } else { 0.0 },
+            if regressed { "  REGRESSION" } else { "" },
+            r.build_ms,
+            b.build_ms,
+        );
+        if let (Some(cur_phases), Some(base_phases)) = (&r.phases, &b.phases) {
+            for p in cur_phases {
+                if let Some(q) = base_phases.iter().find(|q| q.name == p.name) {
+                    println!(
+                        "       phase {:<14} {:>8.0}ms vs {:>8.0}ms ({:+.1}%)",
+                        p.name,
+                        p.ms,
+                        q.ms,
+                        (p.ms / q.ms.max(1e-9) - 1.0) * 100.0,
+                    );
+                }
+            }
+        }
+    }
+    if matched == 0 {
+        println!("  (no baseline rows match this run's kind/n/scheme combinations)");
+    }
+    regressions
+}
+
 fn main() {
     let registry = SchemeRegistry::with_defaults();
     assert_meta_covers_registry(&registry);
@@ -412,6 +532,24 @@ fn main() {
                 Err(e) => eprintln!("could not write {path}: {e}"),
             },
             Err(e) => eprintln!("could not serialize rows: {e}"),
+        }
+    }
+
+    if let Some(path) = &opts.baseline {
+        let baseline: Vec<Row> = match std::fs::read_to_string(path)
+            .map_err(|e| e.to_string())
+            .and_then(|text| rows_from_json(&text))
+        {
+            Ok(rows) => rows,
+            Err(e) => {
+                eprintln!("ERROR: could not load baseline {path}: {e}");
+                std::process::exit(1);
+            }
+        };
+        let regressions = compare_baseline(&rows, &baseline, path);
+        if regressions > 0 {
+            eprintln!("ERROR: {regressions} row(s) regressed >10% QPS against {path}");
+            std::process::exit(1);
         }
     }
 }

@@ -11,9 +11,13 @@ use serde::{Deserialize, Serialize};
 /// Which Lemma 5 construction a scheme uses for its hitting sets.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
 pub enum HittingStrategy {
-    /// Deterministic greedy set cover (larger constants, no randomness).
+    /// Deterministic greedy set cover, ties broken by smallest vertex id
+    /// (Elkin–Matar-style derandomization). The default: with it, every
+    /// hitting-set-based build is seed-free — two runs on the same graph
+    /// produce identical routers regardless of the RNG handed to `build`.
     Greedy,
-    /// Randomized sampling with patching (smaller in practice).
+    /// Randomized sampling with patching (smaller in practice). Kept behind
+    /// this param for experiments that want the paper's Lemma 5 sampling.
     Random,
 }
 
@@ -41,7 +45,7 @@ impl Default for Params {
             ball_scale: 1.0,
             landmark_scale: 1.0,
             coloring_retries: 8,
-            hitting: HittingStrategy::Random,
+            hitting: HittingStrategy::Greedy,
         }
     }
 }
@@ -98,6 +102,8 @@ mod tests {
         assert!(p.validate().is_ok());
         assert_eq!(p.b_lemma7(), 8);
         assert_eq!(p.b_lemma8(), 9);
+        // The default build must be seed-free (deterministic hitting sets).
+        assert_eq!(p.hitting, HittingStrategy::Greedy);
     }
 
     #[test]

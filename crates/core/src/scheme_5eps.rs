@@ -151,21 +151,41 @@ impl SchemeFivePlusEps {
         // nearest landmark of, so the merged writes are disjoint and
         // order-independent.
         let span_fe = routing_obs::span("first-edge");
+        // Invert the nearest-landmark assignment once so each landmark's
+        // search can stop as soon as its claimed vertices are settled; the
+        // claimed lists are built in vertex-id order, matching the old
+        // full-scan filter order exactly.
+        let mut landmark_idx = vec![u32::MAX; n];
+        for (i, &a) in landmarks.members().iter().enumerate() {
+            landmark_idx[a.index()] = i as u32;
+        }
+        let mut claimed: Vec<Vec<VertexId>> = vec![Vec::new(); landmarks.len()];
+        for v in g.vertices() {
+            if let Some(a) = landmarks.nearest(v) {
+                if v != a {
+                    claimed[landmark_idx[a.index()] as usize].push(v);
+                }
+            }
+        }
         let per_landmark: Vec<Vec<(VertexId, (VertexId, Port))>> = routing_par::par_map_scratch(
             landmarks.len(),
             || routing_graph::SearchScratch::for_graph(g),
             |scratch, i| {
                 let a = landmarks.members()[i];
-                scratch.dijkstra_into(g, a);
-                g.vertices()
-                    .filter(|&v| landmarks.nearest(v) == Some(a) && v != a)
-                    .filter_map(|v| {
+                let _frontier = routing_obs::span("settled-frontier");
+                scratch.dijkstra_targets_into(g, a, &claimed[i]);
+                routing_obs::counters::BUILD_EARLY_EXIT_SEARCHES.inc();
+                let out = claimed[i]
+                    .iter()
+                    .filter_map(|&v| {
                         scratch.first_hop(v).map(|z| {
                             let port = g.port_to(a, z).expect("first hop is a neighbour");
                             (v, (z, port))
                         })
                     })
-                    .collect()
+                    .collect();
+                routing_obs::counters::BUILD_SETTLED_VERTICES.add(scratch.order().len() as u64);
+                out
             },
         );
         let mut first_edge: Vec<Option<(VertexId, Port)>> = vec![None; n];

@@ -16,8 +16,6 @@
 //! the remaining distance is covered on the tree `T(w)` using `v`'s tree
 //! label. The traversed path has weight at most `(1+ε)·d(u, v)`.
 
-use std::collections::{HashMap, HashSet};
-
 use rand::Rng;
 
 use routing_graph::{Graph, SearchScratch, VertexId, Weight};
@@ -65,6 +63,31 @@ impl HeaderSize for Technique1Header {
     }
 }
 
+/// The flat per-source sequence store: one CSR slot per source vertex with
+/// id-sorted destination keys, in the PR 4 `BallTable`/`FlatBunches` style.
+/// Replaces the former `HashMap<(u, v), StoredSeq>` — a lookup is one
+/// binary search over the source's contiguous slot, and the resident
+/// memory is three flat arrays instead of a hash table of tuple keys.
+#[derive(Debug, Clone)]
+struct SeqStore {
+    /// `offsets[u] .. offsets[u + 1]` delimits `u`'s slot in `dests` /
+    /// `stored` (empty for vertices whose partition set is a singleton).
+    offsets: Vec<usize>,
+    /// Destination keys, id-sorted within each source slot.
+    dests: Vec<VertexId>,
+    /// `stored[i]` is the sequence for destination `dests[i]`.
+    stored: Vec<StoredSeq>,
+}
+
+impl SeqStore {
+    /// The stored sequence at `u` for `v`, if the pair shares a set.
+    fn get(&self, u: VertexId, v: VertexId) -> Option<&StoredSeq> {
+        let lo = self.offsets[u.index()];
+        let hi = self.offsets[u.index() + 1];
+        self.dests[lo..hi].binary_search(&v).ok().map(|i| &self.stored[lo + i])
+    }
+}
+
 /// The Lemma 7 router. It is designed to be *embedded* in the full schemes:
 /// the schemes own the shared [`BallTable`] and pass it to
 /// [`Technique1Router::step`], while the router owns the hitting-set trees
@@ -72,11 +95,12 @@ impl HeaderSize for Technique1Header {
 #[derive(Debug, Clone)]
 pub struct Technique1Router {
     set_of: Vec<u32>,
+    /// The hitting set, id-sorted; `trees[i]` is the global tree of
+    /// `hitting[i]`, so one binary search resolves both membership and
+    /// tree lookups.
     hitting: Vec<VertexId>,
-    // lint:allow(det-hash-iter): keyed lookup by hitting-set vertex; the only iteration is an order-independent usize sum of table words
-    trees: HashMap<VertexId, TreeScheme>,
-    // lint:allow(det-hash-iter): keyed sequence lookup at query time; never iterated
-    seqs: HashMap<(VertexId, VertexId), StoredSeq>,
+    trees: Vec<TreeScheme>,
+    seqs: SeqStore,
     /// Per-vertex word count of the stored sequences (precomputed).
     seq_words: Vec<usize>,
     b: usize,
@@ -119,15 +143,14 @@ impl Technique1Router {
             HittingStrategy::Greedy => hitting_set_greedy(g.n(), &ball_sets),
             HittingStrategy::Random => hitting_set_random(g.n(), &ball_sets, rng),
         };
-        // lint:allow(det-hash-iter): membership tests only; enumeration always uses the sorted `hitting` vec
-        let hitting_lookup: HashSet<VertexId> = hitting.iter().copied().collect();
         drop(span_hitting);
 
         // Global shortest-path trees for the hitting set: one full Dijkstra
         // plus a heavy-path decomposition per hitting-set vertex, all
         // independent — fan them out, one reused search workspace per worker.
+        // These searches stay *full*: every tree must span V.
         let span_trees = routing_obs::span("global-trees");
-        let built_trees: Vec<Result<TreeScheme, BuildError>> = routing_par::par_map_scratch(
+        let trees: Vec<TreeScheme> = routing_par::par_map_scratch(
             hitting.len(),
             || SearchScratch::for_graph(g),
             |scratch, i| {
@@ -135,61 +158,86 @@ impl Technique1Router {
                 TreeScheme::from_scratch(g, scratch)
                     .map_err(|e| BuildError::TooSmall { what: e.to_string() })
             },
-        );
-        // lint:allow(det-hash-iter): filled in sorted hitting order, read by key (see the field pragma for the word-count sum)
-        let mut trees = HashMap::with_capacity(hitting.len());
-        for (&w, tree) in hitting.iter().zip(built_trees) {
-            trees.insert(w, tree?);
-        }
+        )
+        .into_iter()
+        .collect::<Result<_, _>>()?;
         drop(span_trees);
         let _span_seqs = routing_obs::span("sequences");
 
-        // Group vertices by set.
-        // lint:allow(det-hash-iter): iterated only to assemble `sources`, which is sorted before any downstream use
-        let mut groups: HashMap<u32, Vec<VertexId>> = HashMap::new();
-        for v in g.vertices() {
-            groups.entry(set_of[v.index()]).or_default().push(v);
-        }
+        // Group vertices by set: sort once by (set, id) and take the
+        // consecutive runs — each run is id-sorted, which is what makes the
+        // per-source destination slots of the flat store binary-searchable.
+        let mut by_set: Vec<VertexId> = g.vertices().collect();
+        by_set.sort_unstable_by_key(|&v| (set_of[v.index()], v));
 
         // Sequences for every same-set ordered pair. Each source vertex `u`
-        // needs one Dijkstra and then only reads shared state, so the
-        // per-source work items run in parallel; the merge below is
-        // sequential in vertex order, making the result independent of the
-        // thread count.
+        // needs one *target-bounded* search — it only ever reads shortest
+        // paths to its own set members, and every vertex those paths visit
+        // is an ancestor of a member, settled before it — so the search
+        // stops at the member settled last instead of paying for the whole
+        // graph. The per-source work items run in parallel; the merge below
+        // fills the CSR slots in vertex order, making the result
+        // independent of the thread count.
         let mut sources: Vec<(VertexId, &[VertexId])> = Vec::new();
-        for members in groups.values() {
-            if members.len() < 2 {
+        let mut run_start = 0usize;
+        for i in 1..=by_set.len() {
+            let run_ends = i == by_set.len()
+                || set_of[by_set[i].index()] != set_of[by_set[run_start].index()];
+            if !run_ends {
                 continue;
             }
-            for &u in members {
-                sources.push((u, members.as_slice()));
+            let members = &by_set[run_start..i];
+            if members.len() >= 2 {
+                for &u in members {
+                    sources.push((u, members));
+                }
             }
+            run_start = i;
         }
         sources.sort_unstable_by_key(|&(u, _)| u);
-        let per_source: Vec<Vec<(VertexId, StoredSeq)>> = routing_par::par_map_scratch(
+
+        // CSR offsets for the flat store: one destination slot per same-set
+        // ordered pair, keyed in member (= id) order.
+        let mut offsets = vec![0usize; g.n() + 1];
+        for &(u, members) in &sources {
+            offsets[u.index() + 1] = members.len() - 1;
+        }
+        for i in 0..g.n() {
+            offsets[i + 1] += offsets[i];
+        }
+
+        let per_source: Vec<Vec<StoredSeq>> = routing_par::par_map_scratch(
             sources.len(),
             || SearchScratch::for_graph(g),
             |scratch, i| {
                 let (u, members) = sources[i];
-                scratch.dijkstra_into(g, u);
-                members
+                let _frontier = routing_obs::span("settled-frontier");
+                scratch.dijkstra_targets_into(g, u, members);
+                routing_obs::counters::BUILD_EARLY_EXIT_SEARCHES.inc();
+                let out = members
                     .iter()
                     .filter(|&&v| v != u)
-                    .map(|&v| {
-                        (v, build_sequence(g, balls, scratch, u, v, b, &hitting_lookup, &trees))
-                    })
-                    .collect()
+                    .map(|&v| build_sequence(g, balls, scratch, u, v, b, &hitting, &trees))
+                    .collect();
+                routing_obs::counters::BUILD_SETTLED_VERTICES.add(scratch.order().len() as u64);
+                out
             },
         );
-        // lint:allow(det-hash-iter): filled per key in sorted source order, read by key at query time; never iterated
-        let mut seqs = HashMap::new();
+        // One pass fills the flat store's slots directly *and* accumulates
+        // the word accounting: sources are sorted by vertex id, so pushing
+        // in iteration order lands every sequence exactly at its CSR slot.
+        let mut dests = Vec::with_capacity(offsets[g.n()]);
+        let mut stored = Vec::with_capacity(offsets[g.n()]);
         let mut seq_words = vec![0usize; g.n()];
-        for (&(u, _), stored_list) in sources.iter().zip(per_source) {
-            for (v, stored) in stored_list {
-                seq_words[u.index()] += 1 + stored.words();
-                seqs.insert((u, v), stored);
+        for (&(u, members), stored_list) in sources.iter().zip(per_source) {
+            debug_assert_eq!(stored.len(), offsets[u.index()]);
+            for (&v, s) in members.iter().filter(|&&v| v != u).zip(stored_list) {
+                seq_words[u.index()] += 1 + s.words();
+                dests.push(v);
+                stored.push(s);
             }
         }
+        let seqs = SeqStore { offsets, dests, stored };
 
         Ok(Technique1Router { set_of, hitting, trees, seqs, seq_words, b })
     }
@@ -211,7 +259,13 @@ impl Technique1Router {
 
     /// True if a sequence is stored at `u` for `v` (i.e. they share a set).
     pub fn has_sequence(&self, u: VertexId, v: VertexId) -> bool {
-        self.seqs.contains_key(&(u, v))
+        self.seqs.get(u, v).is_some()
+    }
+
+    /// The global tree of hitting-set vertex `w`, if `w ∈ H` — one binary
+    /// search over the sorted hitting vec, no hash table.
+    fn tree_of(&self, w: VertexId) -> Option<&TreeScheme> {
+        self.hitting.binary_search(&w).ok().map(|i| &self.trees[i])
     }
 
     /// Builds the header a message needs when it starts the Lemma 7 phase at
@@ -226,7 +280,7 @@ impl Technique1Router {
         if at == dest {
             return Ok(Technique1Header { seq: Vec::new(), idx: 0, final_tree: None, tree_mode: false });
         }
-        let stored = self.seqs.get(&(at, dest)).ok_or_else(|| RouteError::MissingInformation {
+        let stored = self.seqs.get(at, dest).ok_or_else(|| RouteError::MissingInformation {
             at,
             what: format!("no Lemma 7 sequence for destination {dest} (different partition set)"),
         })?;
@@ -306,7 +360,7 @@ impl Technique1Router {
             at,
             what: "tree mode without a final tree label".into(),
         })?;
-        let tree = self.trees.get(w).ok_or_else(|| RouteError::MissingInformation {
+        let tree = self.tree_of(*w).ok_or_else(|| RouteError::MissingInformation {
             at,
             what: format!("no global tree stored for hitting-set vertex {w}"),
         })?;
@@ -324,26 +378,35 @@ impl Technique1Router {
     /// hitting-set tree plus the stored sequences. (The shared ball table is
     /// accounted by the embedding scheme.)
     pub fn table_words(&self, v: VertexId) -> usize {
-        let tree_words: usize = self.trees.values().map(|t| t.table_words(v)).sum();
+        let tree_words: usize = self.trees.iter().map(|t| t.table_words(v)).sum();
         tree_words + self.seq_words[v.index()]
     }
 }
 
 /// Computes the Lemma 7 sequence stored at `u` for `v`. `spt_u` holds the
-/// result of a full Dijkstra from `u` (`dijkstra_into`).
+/// result of a target-bounded Dijkstra from `u`
+/// ([`SearchScratch::dijkstra_targets_into`]) whose targets included `v`.
+/// Every vertex this walk probes lies on the tree path to `v` — an
+/// ancestor of `v`, settled before it — so the probes stay inside the
+/// settled frontier; the `ensure_settled` below is the defensive fallback
+/// that resumes the search should `v` itself ever not be covered.
+///
+/// `hitting` is the id-sorted hitting set; `trees[i]` is the global tree
+/// of `hitting[i]`.
 #[allow(clippy::too_many_arguments)]
 fn build_sequence(
     g: &Graph,
     balls: &BallTable,
-    spt_u: &SearchScratch,
+    spt_u: &mut SearchScratch,
     _u: VertexId,
     v: VertexId,
     b: usize,
-    // lint:allow(det-hash-iter): membership tests while walking the shortest path, in path order
-    hitting: &HashSet<VertexId>,
-    // lint:allow(det-hash-iter): keyed tree lookups along the path; never iterated
-    trees: &HashMap<VertexId, TreeScheme>,
+    hitting: &[VertexId],
+    trees: &[TreeScheme],
 ) -> StoredSeq {
+    if !spt_u.is_settled(v) && spt_u.ensure_settled(g, v) {
+        routing_obs::counters::BUILD_FRONTIER_RESUMES.inc();
+    }
     let path = spt_u.path_to(v).expect("graph is connected");
     let d_uv = spt_u.dist(v).expect("graph is connected");
     let mut entries: Vec<SeqEntry> = Vec::new();
@@ -379,11 +442,11 @@ fn build_sequence(
                 .members()
                 .iter()
                 .map(|&(m, _)| m)
-                .find(|m| hitting.contains(m))
+                .find(|m| hitting.binary_search(m).is_ok())
                 .expect("hitting set hits every vicinity");
-            let label = trees
-                .get(&w)
-                .expect("tree exists for every hitting-set vertex")
+            let tree_idx =
+                hitting.binary_search(&w).expect("w was found in the hitting set above");
+            let label = trees[tree_idx]
                 .label(v)
                 .expect("global tree spans every vertex")
                 .clone();

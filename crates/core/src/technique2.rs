@@ -119,8 +119,14 @@ impl Technique2Router {
             || SearchScratch::for_graph(g),
             |scratch, i| {
                 let (j, w, sources) = work[i];
-                scratch.dijkstra_into(g, w);
-                sources
+                // The sequence for source `u` only reads dist/parent on the
+                // shortest `u`-`w` path, and every path vertex is an SPT
+                // ancestor of the target `u` — settled before `u` — so the
+                // target-bounded search is sufficient as well as bit-identical.
+                let _frontier = routing_obs::span("settled-frontier");
+                scratch.dijkstra_targets_into(g, w, sources);
+                routing_obs::counters::BUILD_EARLY_EXIT_SEARCHES.inc();
+                let out = sources
                     .iter()
                     .filter(|&&u| u != w)
                     .map(|&u| {
@@ -128,7 +134,9 @@ impl Technique2Router {
                         path.reverse(); // now u -> w
                         (u, build_t2_sequence(g, balls, scratch, &path, w, j, &color_of, b))
                     })
-                    .collect()
+                    .collect();
+                routing_obs::counters::BUILD_SETTLED_VERTICES.add(scratch.order().len() as u64);
+                out
             },
         );
         // lint:allow(det-hash-iter): filled per key in deterministic work order, read by key at query time; never iterated

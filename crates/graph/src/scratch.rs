@@ -22,8 +22,11 @@
 //!   equals the current epoch, so "resetting" the workspace is a single
 //!   integer increment, `O(1)` regardless of how little of the graph the
 //!   previous search touched;
-//! * the binary heap is kept allocated between searches (`clear()` keeps
-//!   capacity);
+//! * the priority queue is a monotone **bucket queue** (Dial's algorithm
+//!   with a 64-distance circular window tracked by one occupancy bitmask)
+//!   backed by a binary-heap overflow for pushes beyond the window, all
+//!   kept allocated between searches — see [`SearchScratch::queue_pop`]'s
+//!   source for why its pop order is bit-identical to a binary heap's;
 //! * the settle order (the `(distance, id)`-sorted vertex sequence every
 //!   bounded search is defined by) is recorded in a reusable buffer.
 //!
@@ -56,9 +59,29 @@ use crate::{Graph, VertexId, Weight, INFINITY};
 /// Sentinel for "no parent / no first hop / no nearest source".
 const NONE: u32 = u32::MAX;
 
+/// Width of the bucket-queue distance window (must be a power of two so the
+/// slot index is a mask). Pushes whose distance lies within this many units
+/// of the frontier go into a bucket slot; farther pushes wait in the
+/// overflow heap. With the perf families' weights (1..32) every push lands
+/// in the window, so the binary heap is never touched.
+const BQ_WINDOW: Weight = 64;
+
 /// Epoch value no search ever uses, so a fresh workspace (all stamps at
 /// this value, epoch at 0) reports nothing as reached or settled.
 const NEVER: u64 = u64::MAX;
+
+/// When the shared single-origin settle loop ([`SearchScratch::drain`])
+/// stops: never early (full search), once every requested target settled
+/// (target-bounded search), or once one specific vertex settled (resume).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stop {
+    /// Settle everything the heap reaches (full Dijkstra).
+    HeapEmpty,
+    /// Stop when the target countdown reaches zero.
+    TargetsSettled,
+    /// Stop when this vertex settles ([`SearchScratch::ensure_settled`]).
+    VertexSettled(VertexId),
+}
 
 /// Which search the workspace ran last; accessors whose data only certain
 /// searches produce are gated on this, so a reused workspace can never hand
@@ -83,6 +106,7 @@ enum SearchKind {
 /// See the [module docs](self) for the design; construct one per worker
 /// thread with [`SearchScratch::for_graph`] and run any sequence of
 /// [`dijkstra_into`](SearchScratch::dijkstra_into),
+/// [`dijkstra_targets_into`](SearchScratch::dijkstra_targets_into),
 /// [`ball_into`](SearchScratch::ball_into),
 /// [`multi_source_into`](SearchScratch::multi_source_into) and
 /// [`cluster_into`](SearchScratch::cluster_into) searches on it. Results are
@@ -104,8 +128,23 @@ pub struct SearchScratch {
     /// source `p_A(v)` after a multi-source search.
     parent: Vec<u32>,
     first_hop: Vec<u32>,
-    /// Heap for single-origin searches, ordered by `(distance, id)`.
+    /// Overflow heap of the single-origin bucket queue, ordered by
+    /// `(distance, id)`: holds entries pushed more than [`BQ_WINDOW`]
+    /// distance units past the frontier, which migrate into their bucket
+    /// slot when the frontier reaches them.
     heap: BinaryHeap<Reverse<(Weight, VertexId)>>,
+    /// Bucket slots of the single-origin queue: slot `d % BQ_WINDOW` holds
+    /// the ids of pending entries at distance `d` for the unique such `d`
+    /// inside the current window `[bq_cur, bq_cur + BQ_WINDOW)`.
+    bq_slots: Vec<Vec<u32>>,
+    /// Occupancy bitmask over `bq_slots` (bit `s` set iff slot `s` holds
+    /// pending entries).
+    bq_mask: u64,
+    /// The frontier: distance of the slot currently being drained. Edge
+    /// weights are strictly positive, so no push ever lands back in it.
+    bq_cur: Weight,
+    /// Entries of the current slot already handed out by `queue_pop`.
+    bq_pos: usize,
     /// Heap for multi-source searches, ordered by `(distance, source, id)`.
     heap_tagged: BinaryHeap<Reverse<(Weight, VertexId, VertexId)>>,
     /// Vertices in settle order with their final distances.
@@ -114,6 +153,18 @@ pub struct SearchScratch {
     source: VertexId,
     /// Which search ran last (gates the kind-specific accessors).
     kind: SearchKind,
+    /// Epoch stamp marking the requested targets of a target-bounded
+    /// search ([`dijkstra_targets_into`](Self::dijkstra_targets_into)).
+    target_stamp: Vec<u64>,
+    /// Requested targets of the current epoch not yet settled; the
+    /// target-bounded search stops when this countdown reaches zero.
+    targets_remaining: usize,
+    /// True when the last search left a resumable frontier: full and
+    /// target-bounded Dijkstra relax every settled vertex's out-edges
+    /// before stopping, so popping more of the heap continues the same
+    /// search. Bounded ball searches break *after* marking a vertex
+    /// settled but before relaxing it, so they must not be resumed.
+    resumable: bool,
 }
 
 impl SearchScratch {
@@ -128,10 +179,17 @@ impl SearchScratch {
             parent: vec![NONE; n],
             first_hop: vec![NONE; n],
             heap: BinaryHeap::with_capacity(n.min(1 << 16)),
+            bq_slots: vec![Vec::new(); BQ_WINDOW as usize],
+            bq_mask: 0,
+            bq_cur: 0,
+            bq_pos: 0,
             heap_tagged: BinaryHeap::new(),
             order: Vec::with_capacity(n.min(1 << 16)),
             source: VertexId(0),
             kind: SearchKind::Idle,
+            target_stamp: vec![NEVER; n],
+            targets_remaining: 0,
+            resumable: false,
         }
     }
 
@@ -151,7 +209,92 @@ impl SearchScratch {
         self.epoch += 1;
         self.heap.clear();
         self.heap_tagged.clear();
+        // Clear only the occupied bucket slots (a stopped search leaves
+        // pending entries behind); capacity is kept.
+        while self.bq_mask != 0 {
+            let s = self.bq_mask.trailing_zeros() as usize;
+            self.bq_slots[s].clear();
+            self.bq_mask &= self.bq_mask - 1;
+        }
+        self.bq_cur = 0;
+        self.bq_pos = 0;
         self.order.clear();
+        self.targets_remaining = 0;
+        self.resumable = false;
+    }
+
+    /// Pushes `(d, v)` into the single-origin priority queue.
+    ///
+    /// Every caller settles vertices in nondecreasing distance order and
+    /// edge weights are strictly positive, so `d` is always strictly past
+    /// the frontier `bq_cur` (or equal to it only for the seed, before any
+    /// pop). Within-window pushes go to the bucket slot `d % BQ_WINDOW`,
+    /// farther ones wait in the overflow heap.
+    #[inline]
+    fn queue_push(&mut self, d: Weight, v: VertexId) {
+        if d.wrapping_sub(self.bq_cur) < BQ_WINDOW {
+            let s = (d & (BQ_WINDOW - 1)) as usize;
+            self.bq_slots[s].push(v.0);
+            self.bq_mask |= 1u64 << s;
+        } else {
+            self.heap.push(Reverse((d, v)));
+        }
+    }
+
+    /// Pops the minimum `(distance, id)` entry of the single-origin queue.
+    ///
+    /// **Bit-identity with a binary heap.** All edge weights are ≥ 1, so
+    /// every entry at distance `d` is enqueued while the frontier is still
+    /// strictly below `d` (it was pushed when a vertex at `d - w < d`
+    /// settled, or is the seed). Hence when the frontier advances to `d`
+    /// the distance-`d` population is complete: sorting the slot by id —
+    /// after migrating any distance-`d` overflow entries into it — and
+    /// draining it in that order yields exactly the `(distance, id)`
+    /// lexicographic pop order a binary heap would produce. Duplicate
+    /// entries for a vertex (re-pushed on improvement) surface in the same
+    /// stale-then-skip pattern as with a heap.
+    fn queue_pop(&mut self) -> Option<(Weight, VertexId)> {
+        loop {
+            let s = (self.bq_cur & (BQ_WINDOW - 1)) as usize;
+            if self.bq_pos < self.bq_slots[s].len() {
+                let v = self.bq_slots[s][self.bq_pos];
+                self.bq_pos += 1;
+                if self.bq_pos == self.bq_slots[s].len() {
+                    self.bq_slots[s].clear();
+                    self.bq_pos = 0;
+                    self.bq_mask &= !(1u64 << s);
+                }
+                return Some((self.bq_cur, VertexId(v)));
+            }
+            // Advance the frontier to the next event distance: the nearest
+            // occupied slot (the rotated mask puts the frontier's slot at
+            // bit 0) and/or the smallest overflow entry.
+            let bucket_next = if self.bq_mask != 0 {
+                let rot = self.bq_mask.rotate_right((self.bq_cur & (BQ_WINDOW - 1)) as u32);
+                Some(self.bq_cur + rot.trailing_zeros() as Weight)
+            } else {
+                None
+            };
+            let heap_next = self.heap.peek().map(|&Reverse((d, _))| d);
+            let next = match (bucket_next, heap_next) {
+                (None, None) => return None,
+                (Some(b), None) => b,
+                (None, Some(h)) => h,
+                (Some(b), Some(h)) => b.min(h),
+            };
+            self.bq_cur = next;
+            self.bq_pos = 0;
+            let s = (next & (BQ_WINDOW - 1)) as usize;
+            // Migrate every overflow entry at exactly this distance into
+            // the slot so the id sort below orders the complete level.
+            while self.heap.peek().is_some_and(|&Reverse((d, _))| d == next) {
+                if let Some(Reverse((_, v))) = self.heap.pop() {
+                    self.bq_slots[s].push(v.0);
+                    self.bq_mask |= 1u64 << s;
+                }
+            }
+            self.bq_slots[s].sort_unstable();
+        }
     }
 
     #[inline]
@@ -178,28 +321,131 @@ impl SearchScratch {
         assert!(g.n() <= self.n, "graph larger than the workspace");
         self.begin();
         self.kind = SearchKind::SingleOrigin;
+        self.resumable = true;
         self.source = source;
         let s = source.index();
         self.stamp[s] = self.epoch;
         self.dist[s] = 0;
         self.parent[s] = NONE;
         self.first_hop[s] = NONE;
-        self.heap.push(Reverse((0, source)));
-        while let Some(Reverse((d, u))) = self.heap.pop() {
+        self.queue_push(0, source);
+        self.drain(g, Stop::HeapEmpty);
+    }
+
+    /// Runs Dijkstra from `source` but stops the moment the last vertex of
+    /// `targets` is settled, instead of settling the whole graph.
+    ///
+    /// Requested targets are marked in an epoch-stamped bitmap (duplicates
+    /// collapse) and counted down as they settle; the zero-allocation
+    /// workspace machinery is otherwise identical to
+    /// [`dijkstra_into`](Self::dijkstra_into). Because Dijkstra settles in
+    /// `(distance, id)` order and a vertex's `dist`/`parent`/`first_hop`
+    /// are final when it settles, **every settled vertex carries exactly
+    /// the values the full search would have given it** — the settled
+    /// prefix (including [`order`](Self::order)) is bit-identical to the
+    /// same-length prefix of the full search. Tree ancestors settle before
+    /// their descendants, so [`path_to`](Self::path_to) of any settled
+    /// target never leaves the settled frontier.
+    ///
+    /// With an empty `targets` list nothing is settled; targets that are
+    /// unreachable from `source` make the search exhaust the component
+    /// (the countdown never reaches zero) — still never worse than a full
+    /// search. Callers probing past the frontier resume the search with
+    /// [`ensure_settled`](Self::ensure_settled).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `g` has more vertices than the workspace.
+    pub fn dijkstra_targets_into(&mut self, g: &Graph, source: VertexId, targets: &[VertexId]) {
+        assert!(g.n() <= self.n, "graph larger than the workspace");
+        self.begin();
+        self.kind = SearchKind::SingleOrigin;
+        self.resumable = true;
+        self.source = source;
+        let mut remaining = 0usize;
+        for &t in targets {
+            let ti = t.index();
+            if self.target_stamp[ti] != self.epoch {
+                self.target_stamp[ti] = self.epoch;
+                remaining += 1;
+            }
+        }
+        self.targets_remaining = remaining;
+        if remaining == 0 {
+            return;
+        }
+        let s = source.index();
+        self.stamp[s] = self.epoch;
+        self.dist[s] = 0;
+        self.parent[s] = NONE;
+        self.first_hop[s] = NONE;
+        self.queue_push(0, source);
+        self.drain(g, Stop::TargetsSettled);
+    }
+
+    /// Resumes the current full or target-bounded Dijkstra until `v` is
+    /// settled, returning whether it was (false only when `v` is
+    /// unreachable from the source). A no-op when `v` is already settled.
+    ///
+    /// Everything settled along the way keeps the bit-identity guarantee of
+    /// [`dijkstra_targets_into`](Self::dijkstra_targets_into): resuming is
+    /// indistinguishable from having asked for a larger target set up
+    /// front.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the last search was not [`dijkstra_into`](Self::dijkstra_into)
+    /// or [`dijkstra_targets_into`](Self::dijkstra_targets_into) — a
+    /// bounded ball search stops *without* relaxing its last settled
+    /// vertex, so its frontier must not be extended.
+    pub fn ensure_settled(&mut self, g: &Graph, v: VertexId) -> bool {
+        assert!(
+            self.kind == SearchKind::SingleOrigin && self.resumable,
+            "ensure_settled() resumes only full or target-bounded Dijkstra searches"
+        );
+        if self.settled[v.index()] == self.epoch {
+            return true;
+        }
+        self.drain(g, Stop::VertexSettled(v));
+        self.settled[v.index()] == self.epoch
+    }
+
+    /// The settle loop shared by the full, target-bounded and resumed
+    /// single-origin searches; runs until its [`Stop`] condition holds or
+    /// the heap empties. The stop checks come *after* the settled vertex's
+    /// out-edges are relaxed, so the frontier always stays resumable.
+    fn drain(&mut self, g: &Graph, stop: Stop) {
+        while let Some((d, u)) = self.queue_pop() {
             let ui = u.index();
             if self.settled[ui] == self.epoch {
                 continue;
             }
             self.settled[ui] = self.epoch;
             self.order.push((u, d));
+            if self.target_stamp[ui] == self.epoch {
+                self.targets_remaining = self.targets_remaining.saturating_sub(1);
+            }
             for e in g.edges(u) {
                 let to = e.to.index();
                 let nd = d + e.weight;
                 if self.relax(to, nd) {
                     self.parent[to] = u.0;
                     self.first_hop[to] =
-                        if u == source { e.to.0 } else { self.first_hop[ui] };
-                    self.heap.push(Reverse((nd, e.to)));
+                        if u == self.source { e.to.0 } else { self.first_hop[ui] };
+                    self.queue_push(nd, e.to);
+                }
+            }
+            match stop {
+                Stop::HeapEmpty => {}
+                Stop::TargetsSettled => {
+                    if self.targets_remaining == 0 {
+                        return;
+                    }
+                }
+                Stop::VertexSettled(v) => {
+                    if u == v {
+                        return;
+                    }
                 }
             }
         }
@@ -224,13 +470,13 @@ impl SearchScratch {
         self.dist[s] = 0;
         self.parent[s] = NONE;
         self.first_hop[s] = NONE;
-        self.heap.push(Reverse((0, u)));
+        self.queue_push(0, u);
 
         // Vertices settled after the ball is full, at the same distance as
         // the last member, make the top distance level incomplete.
         let mut overflow_at_max = false;
         let mut max_dist: Weight = 0;
-        while let Some(Reverse((d, v))) = self.heap.pop() {
+        while let Some((d, v)) = self.queue_pop() {
             let vi = v.index();
             if self.settled[vi] == self.epoch {
                 continue;
@@ -251,7 +497,7 @@ impl SearchScratch {
                 if self.relax(to, nd) {
                     self.parent[to] = v.0;
                     self.first_hop[to] = if v == u { e.to.0 } else { self.first_hop[vi] };
-                    self.heap.push(Reverse((nd, e.to)));
+                    self.queue_push(nd, e.to);
                 }
             }
         }
@@ -342,8 +588,8 @@ impl SearchScratch {
         self.stamp[s] = self.epoch;
         self.dist[s] = 0;
         self.parent[s] = NONE;
-        self.heap.push(Reverse((0, w)));
-        while let Some(Reverse((d, u))) = self.heap.pop() {
+        self.queue_push(0, w);
+        while let Some((d, u)) = self.queue_pop() {
             let ui = u.index();
             if self.settled[ui] == self.epoch {
                 continue;
@@ -360,7 +606,7 @@ impl SearchScratch {
                 }
                 if self.relax(to, nd) {
                     self.parent[to] = u.0;
-                    self.heap.push(Reverse((nd, e.to)));
+                    self.queue_push(nd, e.to);
                 }
             }
         }
@@ -588,6 +834,151 @@ mod tests {
                 assert_eq!(Some(s.parent(v)), tree.parent(v));
             }
         }
+    }
+
+    #[test]
+    fn targets_search_is_a_bit_identical_prefix_of_the_full_search() {
+        let g = random_graph(11);
+        let mut full = SearchScratch::for_graph(&g);
+        let mut bounded = SearchScratch::for_graph(&g);
+        for (src, targets) in [
+            (VertexId(0), vec![VertexId(3), VertexId(9), VertexId(40)]),
+            (VertexId(17), vec![VertexId(17)]),
+            (VertexId(42), vec![VertexId(1), VertexId(1), VertexId(79)]),
+        ] {
+            full.dijkstra_into(&g, src);
+            bounded.dijkstra_targets_into(&g, src, &targets);
+            let settled = bounded.order().len();
+            assert!(settled > 0);
+            // The settle order is the same-length prefix of the full order.
+            assert_eq!(bounded.order(), &full.order()[..settled]);
+            for &(v, _) in bounded.order() {
+                assert_eq!(bounded.dist(v), full.dist(v), "dist {src}->{v}");
+                assert_eq!(bounded.parent(v), full.parent(v), "parent {src}->{v}");
+                assert_eq!(bounded.first_hop(v), full.first_hop(v), "hop {src}->{v}");
+                assert_eq!(bounded.path_to(v), full.path_to(v), "path {src}->{v}");
+            }
+            // Every requested target is settled, and the search stopped at
+            // the last one (the final settle-order entry is a target).
+            for &t in &targets {
+                assert!(bounded.is_settled(t), "target {t} not settled");
+            }
+            let last = bounded.order()[settled - 1].0;
+            assert!(targets.contains(&last), "search ran past the last target");
+        }
+    }
+
+    #[test]
+    fn bucket_queue_overflow_heap_matches_wrapper() {
+        // Weights far beyond the 64-distance bucket window force every
+        // push through the overflow heap and its migrate-on-arrival path.
+        let mut rng = StdRng::seed_from_u64(21);
+        let g = generators::erdos_renyi(
+            60,
+            0.08,
+            generators::WeightModel::Uniform { lo: 50, hi: 400 },
+            &mut rng,
+        );
+        let mut s = SearchScratch::for_graph(&g);
+        for src in [0u32, 13, 59] {
+            let src = VertexId(src);
+            s.dijkstra_into(&g, src);
+            let sp = dijkstra(&g, src);
+            for v in g.vertices() {
+                assert_eq!(s.dist(v), sp.dist(v), "dist {src}->{v}");
+                assert_eq!(s.parent(v), sp.parent(v), "parent {src}->{v}");
+                assert_eq!(s.first_hop(v), sp.first_hop(v), "hop {src}->{v}");
+            }
+        }
+    }
+
+    #[test]
+    fn bucket_queue_mixed_window_and_overflow_matches_wrapper() {
+        // Weights straddling the window boundary mix bucket-slot and
+        // overflow pushes, including both kinds at the same distance
+        // level; pops must still come out in (distance, id) order.
+        let mut rng = StdRng::seed_from_u64(23);
+        let g = generators::erdos_renyi(
+            70,
+            0.1,
+            generators::WeightModel::Uniform { lo: 1, hi: 200 },
+            &mut rng,
+        );
+        let mut full = SearchScratch::for_graph(&g);
+        full.dijkstra_into(&g, VertexId(7));
+        let sp = dijkstra(&g, VertexId(7));
+        for v in g.vertices() {
+            assert_eq!(full.dist(v), sp.dist(v), "dist 7->{v}");
+            assert_eq!(full.parent(v), sp.parent(v), "parent 7->{v}");
+        }
+        // Target-bounded prefix and resume hold across the hybrid queue.
+        let mut bounded = SearchScratch::for_graph(&g);
+        bounded.dijkstra_targets_into(&g, VertexId(7), &[VertexId(3), VertexId(64)]);
+        let settled = bounded.order().len();
+        assert_eq!(bounded.order(), &full.order()[..settled]);
+        assert!(bounded.ensure_settled(&g, VertexId(69)));
+        let settled = bounded.order().len();
+        assert_eq!(bounded.order(), &full.order()[..settled]);
+        // Bounded ball searches share the queue; check one against the
+        // allocating wrapper.
+        let radius = bounded.ball_into(&g, VertexId(12), 15);
+        let b = ball(&g, VertexId(12), 15);
+        assert_eq!(radius, b.radius());
+        assert_eq!(bounded.order(), b.members());
+    }
+
+    #[test]
+    fn targets_search_with_no_targets_settles_nothing() {
+        let g = random_graph(11);
+        let mut s = SearchScratch::for_graph(&g);
+        s.dijkstra_targets_into(&g, VertexId(0), &[]);
+        assert!(s.order().is_empty());
+        assert!(!s.is_settled(VertexId(0)));
+    }
+
+    #[test]
+    fn ensure_settled_resumes_past_the_frontier_bit_identically() {
+        let g = random_graph(13);
+        let mut full = SearchScratch::for_graph(&g);
+        full.dijkstra_into(&g, VertexId(5));
+        let mut bounded = SearchScratch::for_graph(&g);
+        bounded.dijkstra_targets_into(&g, VertexId(5), &[VertexId(6)]);
+        // Resume to vertices well past the first frontier, in both orders.
+        for probe in [VertexId(70), VertexId(12), VertexId(79)] {
+            assert!(bounded.ensure_settled(&g, probe));
+            assert!(bounded.is_settled(probe));
+        }
+        let settled = bounded.order().len();
+        assert_eq!(bounded.order(), &full.order()[..settled]);
+        for &(v, _) in bounded.order() {
+            assert_eq!(bounded.dist(v), full.dist(v));
+            assert_eq!(bounded.parent(v), full.parent(v));
+            assert_eq!(bounded.first_hop(v), full.first_hop(v));
+        }
+        // Resuming an exhausted full search is a settled no-op.
+        assert!(full.ensure_settled(&g, VertexId(0)));
+    }
+
+    #[test]
+    fn ensure_settled_reports_unreachable_vertices() {
+        let g = generators::path(3);
+        let mut s = SearchScratch::new(5);
+        s.dijkstra_targets_into(&g, VertexId(0), &[VertexId(2)]);
+        assert!(s.ensure_settled(&g, VertexId(1)));
+        // Vertex 4 exists in the workspace but not in the 3-vertex graph.
+        assert!(!s.ensure_settled(&g, VertexId(4)));
+    }
+
+    #[test]
+    #[should_panic(expected = "ensure_settled() resumes only")]
+    fn ensure_settled_after_ball_search_panics() {
+        let g = random_graph(15);
+        let mut s = SearchScratch::for_graph(&g);
+        // A ball search stops without relaxing its last settled vertex, so
+        // extending its frontier would corrupt the search; the gate must
+        // refuse.
+        s.ball_into(&g, VertexId(0), 4);
+        let _ = s.ensure_settled(&g, VertexId(70));
     }
 
     #[test]

@@ -123,6 +123,17 @@ pub mod counters {
     pub static CHURN_FAIL_UNKNOWN_VERTEX: Counter = Counter::new();
     /// Churn failures: internal scheme errors on stale state.
     pub static CHURN_FAIL_SCHEME_ERROR: Counter = Counter::new();
+    /// Target-bounded (early-exit) Dijkstra searches run by the build
+    /// phases in place of full per-source searches.
+    pub static BUILD_EARLY_EXIT_SEARCHES: Counter = Counter::new();
+    /// Vertices settled by the target-bounded build searches — divide by
+    /// `build_early_exit_searches_total` for the mean settled frontier,
+    /// compare against `n` for the per-source work the early exit saved.
+    pub static BUILD_SETTLED_VERTICES: Counter = Counter::new();
+    /// Defensive frontier resumes: a sequence construction probed a vertex
+    /// beyond the settled frontier and the search was resumed to cover it
+    /// (expected to stay at zero — targets settle their own path vertices).
+    pub static BUILD_FRONTIER_RESUMES: Counter = Counter::new();
 }
 
 /// Every well-known counter as `(series name, help text, counter)`, in
@@ -198,6 +209,21 @@ pub static COUNTER_SERIES: &[(&str, &str, &Counter)] = &[
         "churn_fail_scheme_error_total",
         "Churn failures: internal scheme errors on stale state",
         &counters::CHURN_FAIL_SCHEME_ERROR,
+    ),
+    (
+        "build_early_exit_searches_total",
+        "Target-bounded (early-exit) Dijkstra searches run by the build phases",
+        &counters::BUILD_EARLY_EXIT_SEARCHES,
+    ),
+    (
+        "build_settled_vertices_total",
+        "Vertices settled by the target-bounded build searches",
+        &counters::BUILD_SETTLED_VERTICES,
+    ),
+    (
+        "build_frontier_resumes_total",
+        "Sequence constructions that resumed a search past its settled frontier",
+        &counters::BUILD_FRONTIER_RESUMES,
     ),
 ];
 

@@ -353,6 +353,12 @@ impl TreeScheme {
     /// become the tree; the result is identical to going through
     /// [`TreeScheme::from_spt`]/[`TreeScheme::from_restricted`].
     ///
+    /// The tree covers exactly the vertices the search settled. A
+    /// target-bounded search (`dijkstra_targets_into`) therefore yields a
+    /// tree over its settled prefix only — callers that need a spanning
+    /// tree (e.g. Technique 1's global hitting-set trees) must run the full
+    /// search.
+    ///
     /// # Errors
     ///
     /// Propagates [`TreeBuildError`] (cannot occur for a well-formed search

@@ -330,6 +330,77 @@ proptest! {
         }
     }
 
+    /// The target-bounded early-exit search is a bit-identical prefix of the
+    /// full search: the settled order is literally `full_order[..k]`, every
+    /// requested target is settled with matching dist/parent/first-hop, and
+    /// resuming past the frontier (`ensure_settled`) extends the same prefix
+    /// — with identical results when the per-source searches are fanned out
+    /// over worker scratches at thread counts 1 and 4.
+    #[test]
+    fn target_bounded_search_is_a_prefix_of_the_full_search(
+        (g, _seed) in arb_graph(),
+        stride in 3usize..9,
+    ) {
+        use routing_graph::{reference, SearchScratch};
+        let _guard = THREADS_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        let sources: Vec<VertexId> = g.vertices().step_by(6).collect();
+        // The far probe forces the resume path: the highest-id vertex is
+        // rarely among the first targets settled.
+        let far = VertexId((g.n() - 1) as u32);
+
+        type Snapshot = (Vec<(VertexId, u64)>, Vec<(VertexId, u64)>, bool);
+        let run = |threads: usize| -> Vec<Snapshot> {
+            routing_par::set_threads(threads);
+            let out = routing_par::par_map_scratch(
+                sources.len(),
+                || SearchScratch::for_graph(&g),
+                |scratch, i| {
+                    let src = sources[i];
+                    let targets: Vec<VertexId> =
+                        g.vertices().skip(i % stride).step_by(stride).take(4).collect();
+                    scratch.dijkstra_targets_into(&g, src, &targets);
+                    assert!(targets.iter().all(|&t| scratch.is_settled(t)));
+                    let prefix = scratch.order().to_vec();
+                    let resumed = scratch.ensure_settled(&g, far);
+                    assert!(resumed, "graph is connected, far must be reachable");
+                    (prefix, scratch.order().to_vec(), resumed)
+                },
+            );
+            routing_par::set_threads(routing_par::available_threads());
+            out
+        };
+
+        let single = run(1);
+        let fanned = run(4);
+        prop_assert_eq!(&single, &fanned, "thread count changed the settled prefixes");
+
+        let mut full = SearchScratch::for_graph(&g);
+        for (i, (prefix, extended, _)) in single.iter().enumerate() {
+            let src = sources[i];
+            full.dijkstra_into(&g, src);
+            let full_order = full.order();
+            // Both the stopped search and its resumed extension are literal
+            // prefixes of the full settle order.
+            prop_assert_eq!(&full_order[..prefix.len()], prefix.as_slice());
+            prop_assert_eq!(&full_order[..extended.len()], extended.as_slice());
+            prop_assert!(extended.iter().any(|&(v, _)| v == far));
+            // Every settled vertex agrees with the allocating reference
+            // search on dist, parent and first hop.
+            let sp = reference::dijkstra_alloc(&g, src);
+            let mut probe = SearchScratch::for_graph(&g);
+            let targets: Vec<VertexId> =
+                g.vertices().skip(i % stride).step_by(stride).take(4).collect();
+            probe.dijkstra_targets_into(&g, src, &targets);
+            probe.ensure_settled(&g, far);
+            for &(v, d) in extended {
+                prop_assert_eq!(probe.dist(v), Some(d));
+                prop_assert_eq!(probe.dist(v), sp.dist(v));
+                prop_assert_eq!(probe.parent(v), sp.parent(v));
+                prop_assert_eq!(probe.first_hop(v), sp.first_hop(v));
+            }
+        }
+    }
+
     /// The flat CSR `BallTable`, built at thread counts 1 and 4, is
     /// bit-identical to a table assembled per vertex from the pre-refactor
     /// `HashMap` ball search: same members in the same order, same
